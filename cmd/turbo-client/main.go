@@ -1,0 +1,94 @@
+// Command turbo-client drives a turbo-serve instance with Poisson-arriving
+// requests of uniformly random length and reports latency statistics —
+// the client side of the §6.3 serving experiments, against a real server.
+//
+//	turbo-client -addr http://localhost:8080 -rate 50 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	rate := flag.Float64("rate", 20, "offered load (requests/second)")
+	duration := flag.Duration("duration", 10*time.Second, "test duration")
+	lenLo := flag.Int("len-lo", 2, "minimum request length (characters)")
+	lenHi := flag.Int("len-hi", 100, "maximum request length (characters)")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      int
+		wg        sync.WaitGroup
+	)
+
+	deadline := time.Now().Add(*duration)
+	sent := 0
+	for time.Now().Before(deadline) {
+		// Poisson inter-arrival times.
+		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(gap)
+		n := *lenLo + rng.Intn(*lenHi-*lenLo+1)
+		text := randomText(rng, n)
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			body, _ := json.Marshal(map[string]string{"text": text})
+			resp, err := client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(body))
+			elapsed := time.Since(start).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				errs++
+				if resp != nil {
+					resp.Body.Close()
+				}
+				return
+			}
+			resp.Body.Close()
+			latencies = append(latencies, elapsed)
+		}()
+	}
+	wg.Wait()
+
+	if len(latencies) == 0 {
+		log.Fatalf("no successful responses (%d errors)", errs)
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	pct := func(p float64) float64 { return latencies[int(p*float64(len(latencies)-1))] }
+	fmt.Printf("sent %d, ok %d, errors %d\n", sent, len(latencies), errs)
+	fmt.Printf("throughput: %.1f resp/s\n", float64(len(latencies))/duration.Seconds())
+	fmt.Printf("latency ms: avg %.2f  min %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		1e3*sum/float64(len(latencies)), 1e3*latencies[0],
+		1e3*pct(0.50), 1e3*pct(0.95), 1e3*pct(0.99), 1e3*latencies[len(latencies)-1])
+}
+
+func randomText(rng *rand.Rand, n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,95 @@
+// Command turbo-serve runs the live serving framework: a BERT-style
+// classification service with the paper's DP batch scheduling over a
+// warmed-up cost dictionary.
+//
+//	turbo-serve -addr :8080 -classes 4 -hidden 128 -layers 4
+//
+// Endpoints:
+//
+//	POST /v1/classify {"text": "..."}  → {"class": k, "batch_size": b, ...}
+//	GET  /v1/stats                     → serving counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	turbo "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	classes := flag.Int("classes", 4, "number of output classes")
+	hidden := flag.Int("hidden", 128, "hidden size (CPU-friendly default)")
+	heads := flag.Int("heads", 4, "attention heads")
+	layers := flag.Int("layers", 4, "encoder layers")
+	maxBatch := flag.Int("max-batch", 8, "maximum batch size")
+	maxLen := flag.Int("max-len", 128, "maximum request length for the warm-up sweep")
+	cacheSize := flag.Int("cache", 1024, "response cache entries (0 disables)")
+	seed := flag.Int64("seed", 42, "weight seed")
+	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
+	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
+	flag.Parse()
+
+	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
+	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: *seed, Classes: *classes})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm-up phase (§6.3): reload a persisted dictionary if present,
+	// otherwise measure real engine latency over the sampled parameter
+	// space and let Algorithm 2 interpolate.
+	var cost *turbo.CachedCost
+	if *costFile != "" {
+		if loaded, err := turbo.LoadCost(*costFile); err == nil {
+			cost = loaded
+			log.Printf("reloaded cost dictionary from %s", *costFile)
+		}
+	}
+	if cost == nil {
+		log.Printf("warming up cost dictionary (maxLen=%d, maxBatch=%d)...", *maxLen, *maxBatch)
+		cost = turbo.WarmupCost(func(seqLen, batch int) time.Duration {
+			toks := make([][]int, batch)
+			for i := range toks {
+				row := make([]int, seqLen)
+				for j := range row {
+					row[j] = 3 + (i*31+j*7)%(cfg.Vocab-3)
+				}
+				toks[i] = row
+			}
+			start := time.Now()
+			if _, _, err := engine.Encode(toks); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+			return time.Since(start)
+		}, *maxLen, *maxBatch, *maxLen/8)
+		if *costFile != "" {
+			if err := turbo.SaveCost(cost, *costFile); err != nil {
+				log.Printf("warning: could not persist cost dictionary: %v", err)
+			} else {
+				log.Printf("persisted cost dictionary to %s", *costFile)
+			}
+		}
+	}
+	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
+
+	srv, err := turbo.NewServer(turbo.ServerConfig{
+		Engine:      engine,
+		Scheduler:   turbo.NewDPScheduler(cost, *maxBatch),
+		MaxBatch:    *maxBatch,
+		CacheSize:   *cacheSize,
+		BatchWindow: *batchWindow,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("turbo-serve: %s model (%d layers, hidden %d) listening on %s\n",
+		cfg.Name, cfg.Layers, cfg.Hidden, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

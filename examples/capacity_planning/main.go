@@ -1,0 +1,65 @@
+// Capacity planning: use the GPU latency model and the DP scheduler's cost
+// dictionary to answer the operator questions §5 raises — what max batch
+// size fits an SLO, what throughput one GPU sustains for a length
+// distribution, and how many GPUs a target load needs.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	turbo "repro"
+)
+
+func main() {
+	est := turbo.NewRTX2060Estimator()
+	profile := turbo.TurboProfile()
+	cfg := turbo.BertBase()
+
+	// The §6.3 warm-up phase over the latency model.
+	cost := turbo.WarmupCost(func(seqLen, batch int) time.Duration {
+		return est.BatchCost(profile, cfg, seqLen, batch)
+	}, 500, 32, 25)
+
+	fmt.Println("BERT-base on the modelled RTX 2060, request lengths 2-100")
+	fmt.Println()
+
+	// 1. Largest batch size whose padded execution fits the SLO.
+	fmt.Println("max batch size within SLO (padded length 100):")
+	for _, slo := range []time.Duration{10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond} {
+		best := 0
+		for b := 1; b <= 32; b++ {
+			if cost.BatchCost(100, b) <= slo {
+				best = b
+			}
+		}
+		fmt.Printf("  SLO %6v → batch %d (cost %v)\n", slo, best, cost.BatchCost(100, max(best, 1)))
+	}
+	fmt.Println()
+
+	// 2. Single-GPU sustainable throughput per batching policy, estimated
+	//    from the cost surface at the mean length.
+	fmt.Println("estimated single-GPU capacity at mean length 51:")
+	for _, b := range []int{1, 4, 8, 16, 20} {
+		perBatch := cost.BatchCost(51, b)
+		fmt.Printf("  batch %2d → %6.0f resp/s (batch cost %v)\n",
+			b, float64(b)/perBatch.Seconds(), perBatch)
+	}
+	fmt.Println()
+
+	// 3. GPUs needed for a target offered load with batch 16.
+	perBatch := cost.BatchCost(51, 16)
+	capacity := 16 / perBatch.Seconds()
+	fmt.Println("GPUs needed at batch 16 with 30% headroom:")
+	for _, target := range []float64{500, 2000, 10000} {
+		gpus := int(target/(capacity*0.7)) + 1
+		fmt.Printf("  %6.0f req/s → %d GPU(s)\n", target, gpus)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+// Memory visualizer: renders the Fig. 6 scenario — the sequence-length-
+// aware allocator's chunk/offset layout for a BERT encoder layer as the
+// request length changes from 200 to 240 tokens, with an ASCII memory map
+// showing how tensors with disjoint lifetimes share the same bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/allocator"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	dev := allocator.NewDevice()
+	turboAlloc := allocator.NewTurbo(dev)
+	g := graph.NewEncoderLayerFused(model.BertBase().LayerConfig())
+
+	for _, seq := range []int{200, 240} {
+		records := g.UsageRecords(1, seq)
+		plan := turboAlloc.Plan(records)
+		if err := allocator.Validate(plan, records); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n=== memory allocation of seq_len = %d ===\n", seq)
+		fmt.Printf("chunks: %d  %v bytes  (footprint %.2f MB; device live %.2f MB)\n",
+			len(plan.Chunks), turboAlloc.ChunkSizes(),
+			float64(plan.FootprintBytes())/1e6, float64(dev.Snapshot().LiveBytes)/1e6)
+
+		byChunk := map[int][]allocator.UsageRecord{}
+		for _, r := range records {
+			a := plan.Assignments[r.TensorID]
+			byChunk[a.Chunk] = append(byChunk[a.Chunk], r)
+		}
+		for ci := 0; ci < len(plan.Chunks); ci++ {
+			rs := byChunk[ci]
+			sort.Slice(rs, func(i, j int) bool {
+				return plan.Assignments[rs[i].TensorID].Offset < plan.Assignments[rs[j].TensorID].Offset
+			})
+			fmt.Printf("\nchunk %d (%d bytes):\n", ci, plan.Chunks[ci].Size)
+			fmt.Println("  offset      size        ops      tensor   [lifetime bar over op indices 0..11]")
+			for _, r := range rs {
+				a := plan.Assignments[r.TensorID]
+				fmt.Printf("  %-10d  %-10d  [%2d,%2d]  %-18s %s\n",
+					a.Offset, r.Size, r.FirstOp, r.LastOp, r.Name, lifetimeBar(r, g.NumOps()))
+			}
+		}
+	}
+	fmt.Println("\nTensors whose [first_op,last_op] bars do not overlap may share offsets —")
+	fmt.Println("that reuse is why the footprint stays near the single largest working set.")
+}
+
+func lifetimeBar(r allocator.UsageRecord, ops int) string {
+	var b strings.Builder
+	for i := 0; i < ops; i++ {
+		switch {
+		case i >= r.FirstOp && i <= r.LastOp:
+			b.WriteByte('#')
+		default:
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}

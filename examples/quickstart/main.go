@@ -1,0 +1,67 @@
+// Quickstart: the Go equivalent of the paper's §6.1 usability snippet —
+// build a transformer model, run variable-length inference through the
+// TurboTransformers runtime, and observe the memory manager at work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	turbo "repro"
+)
+
+func main() {
+	// A CPU-friendly BERT (same structure, smaller dims). Swap in
+	// turbo.BertBase() unchanged for the full-size model.
+	cfg := turbo.BertBase().Scaled(128, 4, 512, 4)
+
+	engine, err := turbo.NewEngine(cfg, turbo.Options{
+		Seed:      42,
+		Allocator: turbo.AllocTurbo, // Algorithm 1: the variable-length-aware allocator
+		Classes:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Variable-length requests, exactly what the paper's runtime is built
+	// for: no padding to a fixed bucket, no per-shape re-tuning.
+	requests := [][]int{
+		tokens(12),
+		tokens(87),
+		tokens(5),
+		tokens(230),
+		tokens(40),
+	}
+	for _, toks := range requests {
+		start := time.Now()
+		hidden, seqLens, err := engine.Encode([][]int{toks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seq %3d → hidden %v in %7.2f ms\n",
+			seqLens[0], hidden.Shape(), float64(time.Since(start).Microseconds())/1000)
+	}
+
+	// Batched classification with masking: short requests ride along with
+	// long ones without changing their results.
+	classes, err := engine.Classify(requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classes: %v\n", classes)
+
+	stats := engine.MemoryStats()
+	fmt.Printf("device memory: live %.2f MB, peak %.2f MB, %d allocs / %d frees\n",
+		float64(stats.LiveBytes)/1e6, float64(stats.PeakBytes)/1e6,
+		stats.AllocCount, stats.FreeCount)
+}
+
+func tokens(n int) []int {
+	toks := make([]int, n)
+	for i := range toks {
+		toks[i] = 3 + (i*37)%250
+	}
+	return toks
+}

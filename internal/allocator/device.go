@@ -1,0 +1,122 @@
+// Package allocator implements the paper's sequence-length-aware memory
+// manager (§4.2, Algorithm 1) together with the three allocators it is
+// evaluated against:
+//
+//   - Turbo: chunked, computation-graph-aware offset calculation that reuses
+//     space across tensors with disjoint lifetimes and releases idle chunks,
+//   - GSOC: "Greedy by Size for Offset Calculation" (Pisarchyk & Lee), the
+//     near-optimal fixed-length planner, re-planned into a fresh arena every
+//     inference,
+//   - Caching: the PyTorch/cub-style caching device allocator that grows a
+//     block cache and never returns memory,
+//   - Naive: an onnxruntime-style arena that grows geometrically and never
+//     shrinks.
+//
+// Device memory is simulated: the paper's Figures 11–13 measure footprint
+// and allocation traffic, which are bookkeeping properties, so a byte-exact
+// accounting layer reproduces them without a GPU.
+package allocator
+
+import "fmt"
+
+// Buffer is a simulated device allocation. Data is materialised lazily so
+// footprint experiments over hundreds of MB cost nothing, while the
+// executor can still write real floats into planner-assigned regions.
+type Buffer struct {
+	Size int64
+	dev  *Device
+	data []float32
+	free bool
+}
+
+// Data materialises and returns the buffer's backing storage (Size/4 floats).
+func (b *Buffer) Data() []float32 {
+	if b.free {
+		panic("allocator: use after free")
+	}
+	if b.data == nil {
+		b.data = make([]float32, (b.Size+3)/4)
+	}
+	return b.data
+}
+
+// Device tracks simulated device-memory state: live/peak bytes and
+// cumulative allocation traffic. All four allocators draw from one Device
+// per experiment so their footprints are directly comparable.
+type Device struct {
+	live       int64
+	peak       int64
+	allocCount int64
+	freeCount  int64
+	allocBytes int64
+	freeBytes  int64
+}
+
+// NewDevice returns an empty device-memory tracker.
+func NewDevice() *Device { return &Device{} }
+
+// Malloc allocates a simulated device buffer.
+func (d *Device) Malloc(size int64) *Buffer {
+	if size < 0 {
+		panic(fmt.Sprintf("allocator: negative malloc %d", size))
+	}
+	d.live += size
+	if d.live > d.peak {
+		d.peak = d.live
+	}
+	d.allocCount++
+	d.allocBytes += size
+	return &Buffer{Size: size, dev: d}
+}
+
+// Free releases a buffer. Double frees panic — they are bugs in the
+// allocator under test, not runtime conditions.
+func (d *Device) Free(b *Buffer) {
+	if b.dev != d {
+		panic("allocator: buffer freed on wrong device")
+	}
+	if b.free {
+		panic("allocator: double free")
+	}
+	b.free = true
+	b.data = nil
+	d.live -= b.Size
+	d.freeCount++
+	d.freeBytes += b.Size
+}
+
+// Snapshot is a point-in-time copy of the device counters.
+type Snapshot struct {
+	LiveBytes  int64
+	PeakBytes  int64
+	AllocCount int64
+	FreeCount  int64
+	AllocBytes int64
+	FreeBytes  int64
+}
+
+// Snapshot returns the current counters. Diff two snapshots to measure one
+// inference's traffic (Fig. 12).
+func (d *Device) Snapshot() Snapshot {
+	return Snapshot{
+		LiveBytes:  d.live,
+		PeakBytes:  d.peak,
+		AllocCount: d.allocCount,
+		FreeCount:  d.freeCount,
+		AllocBytes: d.allocBytes,
+		FreeBytes:  d.freeBytes,
+	}
+}
+
+// Sub returns the per-window difference between two snapshots
+// (cumulative fields only; LiveBytes/PeakBytes are copied from s).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		LiveBytes:  s.LiveBytes,
+		PeakBytes:  s.PeakBytes,
+		AllocCount: s.AllocCount - prev.AllocCount,
+		FreeCount:  s.FreeCount - prev.FreeCount,
+		AllocBytes: s.AllocBytes - prev.AllocBytes,
+		FreeBytes:  s.FreeBytes - prev.FreeBytes,
+	}
+}

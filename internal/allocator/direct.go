@@ -1,0 +1,67 @@
+package allocator
+
+import "sort"
+
+// DirectAllocator is the no-cache baseline that motivates §4.2: every
+// intermediate tensor is cudaMalloc'd when its producer runs and
+// cudaFree'd after its last consumer, with nothing retained between ops.
+// Footprint is optimal, but the device-allocation rate is maximal — the
+// paper measured "50% of the computing resources idle wait for memory
+// allocation" on a Tesla M40 at (batch 20, seq 128) with this strategy.
+type DirectAllocator struct {
+	dev *Device
+}
+
+// NewDirect returns a direct malloc/free allocator.
+func NewDirect(dev *Device) *DirectAllocator { return &DirectAllocator{dev: dev} }
+
+// Name implements Allocator.
+func (a *DirectAllocator) Name() string { return "Direct" }
+
+// Plan replays the op-ordered malloc/free stream with one device
+// allocation per tensor. All buffers are freed by the end of the
+// inference.
+func (a *DirectAllocator) Plan(records []UsageRecord) *Plan {
+	maxOp := 0
+	for _, r := range records {
+		if r.LastOp > maxOp {
+			maxOp = r.LastOp
+		}
+	}
+	bornAt := map[int][]UsageRecord{}
+	diesAt := map[int][]UsageRecord{}
+	for _, r := range records {
+		bornAt[r.FirstOp] = append(bornAt[r.FirstOp], r)
+		diesAt[r.LastOp] = append(diesAt[r.LastOp], r)
+	}
+	for _, m := range []map[int][]UsageRecord{bornAt, diesAt} {
+		for _, rs := range m {
+			sort.Slice(rs, func(i, j int) bool { return rs[i].TensorID < rs[j].TensorID })
+		}
+	}
+
+	plan := &Plan{Assignments: make(map[int]Assignment, len(records))}
+	held := map[int]*Buffer{}
+	for op := 0; op <= maxOp; op++ {
+		for _, r := range bornAt[op] {
+			b := a.dev.Malloc(r.Size)
+			held[r.TensorID] = b
+			plan.Assignments[r.TensorID] = Assignment{Chunk: len(plan.Chunks), Offset: 0}
+			plan.Chunks = append(plan.Chunks, b)
+		}
+		for _, r := range diesAt[op] {
+			if b, ok := held[r.TensorID]; ok {
+				a.dev.Free(b)
+				delete(held, r.TensorID)
+			}
+		}
+	}
+	for id, b := range held {
+		a.dev.Free(b)
+		delete(held, id)
+	}
+	return plan
+}
+
+// Release implements Allocator (nothing is retained).
+func (a *DirectAllocator) Release() {}

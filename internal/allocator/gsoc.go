@@ -1,0 +1,105 @@
+package allocator
+
+import "sort"
+
+// GSOCAllocator implements "Greedy by Size for Offset Calculation"
+// (Pisarchyk & Lee, arXiv:2001.03288) — the near-optimal offset planner for
+// fixed-length inference the paper compares against. Tensors are placed
+// greedily by decreasing size into a single arena, sharing space whenever
+// lifetimes are disjoint.
+//
+// Because the arena is sized for one specific inference, every new request
+// re-plans and re-allocates it: the footprint matches Turbo's, but the
+// device alloc/free traffic is the full arena every time (Fig. 12).
+type GSOCAllocator struct {
+	dev   *Device
+	arena *Buffer
+}
+
+// NewGSOC returns a GSOC allocator drawing from dev.
+func NewGSOC(dev *Device) *GSOCAllocator { return &GSOCAllocator{dev: dev} }
+
+// Name implements Allocator.
+func (a *GSOCAllocator) Name() string { return "GSOC" }
+
+// Plan computes greedy-by-size offsets in one arena and reallocates the
+// arena to the exact required size.
+func (a *GSOCAllocator) Plan(records []UsageRecord) *Plan {
+	offsets, arenaSize := GreedyBySizeOffsets(records)
+
+	// A fresh arena per inference: free the old, allocate the new.
+	if a.arena != nil {
+		a.dev.Free(a.arena)
+	}
+	a.arena = a.dev.Malloc(arenaSize)
+
+	assignments := make(map[int]Assignment, len(records))
+	for id, off := range offsets {
+		assignments[id] = Assignment{Chunk: 0, Offset: off}
+	}
+	return &Plan{Assignments: assignments, Chunks: []*Buffer{a.arena}}
+}
+
+// Release implements Allocator.
+func (a *GSOCAllocator) Release() {
+	if a.arena != nil {
+		a.dev.Free(a.arena)
+		a.arena = nil
+	}
+}
+
+// GreedyBySizeOffsets computes the greedy-by-size placement and the arena
+// size it needs. Exported because the Turbo allocator's benchmark compares
+// against it directly and the runtime uses it for fixed-length planning.
+func GreedyBySizeOffsets(records []UsageRecord) (map[int]int64, int64) {
+	sorted := append([]UsageRecord(nil), records...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].TensorID < sorted[j].TensorID
+	})
+
+	type placedAt struct {
+		rec    UsageRecord
+		offset int64
+	}
+	var placedList []placedAt // sorted by offset
+	offsets := make(map[int]int64, len(sorted))
+	var arena int64
+
+	for _, t := range sorted {
+		// Find the smallest gap among lifetime-overlapping placements.
+		var (
+			prevEnd     int64
+			bestOffset  int64 = -1
+			smallestGap int64 = 1<<62 - 1
+		)
+		for _, x := range placedList {
+			if !t.overlaps(x.rec) {
+				continue
+			}
+			gap := x.offset - prevEnd
+			if gap >= t.Size && gap < smallestGap {
+				smallestGap = gap
+				bestOffset = prevEnd
+			}
+			if end := x.offset + x.rec.Size; end > prevEnd {
+				prevEnd = end
+			}
+		}
+		if bestOffset < 0 {
+			bestOffset = prevEnd
+		}
+		offsets[t.TensorID] = bestOffset
+		if end := bestOffset + t.Size; end > arena {
+			arena = end
+		}
+		// Insert keeping offset order.
+		i := sort.Search(len(placedList), func(i int) bool { return placedList[i].offset >= bestOffset })
+		placedList = append(placedList, placedAt{})
+		copy(placedList[i+1:], placedList[i:])
+		placedList[i] = placedAt{rec: t, offset: bestOffset}
+	}
+	return offsets, arena
+}

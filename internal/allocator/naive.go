@@ -1,0 +1,143 @@
+package allocator
+
+// NaiveArenaAllocator models the onnxruntime-style BFC arena the paper
+// criticises: one region that grows geometrically when an inference's
+// working set does not fit and is never returned to the device, so "after
+// it serves a long request ... a huge amount of memory allocated for
+// intermediate tensors will not be released" (§1).
+//
+// Placement within the arena is a simple bump pointer over the op stream
+// with block reuse by exact free-list — coarser than the graph-aware
+// planners, which is what inflates its footprint relative to GSOC/Turbo.
+type NaiveArenaAllocator struct {
+	dev   *Device
+	arena *Buffer
+	// growth factor when the arena must expand.
+	factor float64
+}
+
+// NewNaiveArena returns an onnxruntime-style arena allocator.
+func NewNaiveArena(dev *Device) *NaiveArenaAllocator {
+	return &NaiveArenaAllocator{dev: dev, factor: 1.25}
+}
+
+// Name implements Allocator.
+func (a *NaiveArenaAllocator) Name() string { return "onnxrt" }
+
+// nextPow2 rounds up to a power of two — the BFC allocator's bin sizes.
+func nextPow2(v int64) int64 {
+	if v <= 0 {
+		return 1
+	}
+	p := int64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Plan lays tensors out with a first-fit free-list over the op stream
+// (no lifetime lookahead), growing the arena if the high-water mark exceeds
+// its size. Sizes are rounded to BFC power-of-two bins, which is a large
+// part of why the footprint inflates on variable-length input.
+func (a *NaiveArenaAllocator) Plan(records []UsageRecord) *Plan {
+	binned := append([]UsageRecord(nil), records...)
+	for i := range binned {
+		binned[i].Size = nextPow2(binned[i].Size)
+	}
+	offsets, highWater := firstFitStreamOffsets(binned)
+
+	if a.arena == nil || a.arena.Size < highWater {
+		size := highWater
+		if a.arena != nil {
+			// Geometric growth: keep at least factor × old size.
+			if grown := int64(float64(a.arena.Size) * a.factor); grown > size {
+				size = grown
+			}
+			a.dev.Free(a.arena)
+		}
+		a.arena = a.dev.Malloc(size)
+	}
+
+	assignments := make(map[int]Assignment, len(records))
+	for id, off := range offsets {
+		assignments[id] = Assignment{Chunk: 0, Offset: off}
+	}
+	return &Plan{Assignments: assignments, Chunks: []*Buffer{a.arena}}
+}
+
+// Release implements Allocator.
+func (a *NaiveArenaAllocator) Release() {
+	if a.arena != nil {
+		a.dev.Free(a.arena)
+		a.arena = nil
+	}
+}
+
+// firstFitStreamOffsets simulates a streaming first-fit allocator with no
+// graph knowledge: process ops in order, placing newborn tensors into the
+// lowest free region and freeing them after their last consumer. Returns
+// per-tensor offsets and the high-water mark.
+func firstFitStreamOffsets(records []UsageRecord) (map[int]int64, int64) {
+	maxOp := 0
+	for _, r := range records {
+		if r.LastOp > maxOp {
+			maxOp = r.LastOp
+		}
+	}
+	bornAt := map[int][]UsageRecord{}
+	diesAt := map[int][]UsageRecord{}
+	for _, r := range records {
+		bornAt[r.FirstOp] = append(bornAt[r.FirstOp], r)
+		diesAt[r.LastOp] = append(diesAt[r.LastOp], r)
+	}
+
+	type region struct{ off, size int64 }
+	var live []region // sorted by offset
+	offsets := make(map[int]int64, len(records))
+	var highWater int64
+
+	place := func(r UsageRecord) {
+		// First fit: scan gaps between live regions in offset order.
+		var prev int64
+		insert := len(live)
+		var off int64 = -1
+		for i, reg := range live {
+			if reg.off-prev >= r.Size {
+				off = prev
+				insert = i
+				break
+			}
+			prev = reg.off + reg.size
+		}
+		if off < 0 {
+			off = prev
+		}
+		live = append(live, region{})
+		copy(live[insert+1:], live[insert:])
+		live[insert] = region{off: off, size: r.Size}
+		offsets[r.TensorID] = off
+		if end := off + r.Size; end > highWater {
+			highWater = end
+		}
+	}
+	remove := func(r UsageRecord) {
+		off := offsets[r.TensorID]
+		for i, reg := range live {
+			if reg.off == off && reg.size == r.Size {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+
+	for op := 0; op <= maxOp; op++ {
+		for _, r := range bornAt[op] {
+			place(r)
+		}
+		for _, r := range diesAt[op] {
+			remove(r)
+		}
+	}
+	return offsets, highWater
+}

@@ -1,0 +1,108 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment is a named runner that prints the same
+// rows/series the paper reports; cmd/turbo-bench and the repository-root
+// benchmarks both dispatch through this registry. EXPERIMENTS.md records
+// paper-vs-measured values for each ID.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	// ID is the paper artefact name: "table2", "fig5", ...
+	ID string
+	// Title summarises what the artefact shows.
+	Title string
+	// Paper summarises the paper's reported result for comparison.
+	Paper string
+	// Run writes the regenerated rows/series to w.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return artefactOrder(out[i].ID) < artefactOrder(out[j].ID) })
+	return out
+}
+
+// artefactOrder sorts table1, table2, fig5..fig16, table4, table5 in the
+// order they appear in the paper.
+func artefactOrder(id string) int {
+	order := map[string]int{
+		"table1": 1, "table2": 2, "fig5": 3, "fig6": 4, "fig7": 5, "fig8": 6,
+		"fig9": 7, "fig10": 8, "fig11": 9, "fig12": 10, "fig13": 11,
+		"fig14": 12, "fig15": 13, "table4": 14, "fig16": 15, "table5": 16,
+	}
+	if o, ok := order[id]; ok {
+		return o
+	}
+	return 100
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing a header per artefact.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its banner.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "%s\n%s — %s\n", strings.Repeat("=", 72), strings.ToUpper(e.ID), e.Title)
+	fmt.Fprintf(w, "paper: %s\n%s\n", e.Paper, strings.Repeat("-", 72))
+	if err := e.Run(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// table is a small helper around tabwriter for aligned experiment output.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	fmt.Fprintln(t.tw, strings.Join(parts, "\t"))
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// ms formats a duration-in-seconds as milliseconds.
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.2f", seconds*1e3)
+}

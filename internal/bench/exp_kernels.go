@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cudasim"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/reduction"
+)
+
+// fig5Grid is the (batch, seq) parameter grid of Fig. 5 / Table 2.
+var fig5Seqs = []int{10, 20, 40, 60, 80, 100, 200, 300, 400, 500}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Comparison of runtimes (feature matrix)",
+		Paper: "Turbo: fastest, no preprocess, variable-length, easy; others each miss at least one",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Softmax/LayerNorm share of attention time, before vs after optimisation",
+		Paper: "softmax before 3–91%% / after 2.5–15%%; layernorm before 11–83%% / after 4–6%% (batch 20)",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Batch-reduction kernel speedups on Tesla V100",
+		Paper: "softmax: 1.1–1.7× (batch 1), 2.6–4.3× peak then →1.2 (batch 20); layernorm: 0.97–1.21×",
+		Run:   runFig5,
+	})
+}
+
+func runTable1(w io.Writer) error {
+	t := newTable(w)
+	t.row("runtime", "speed", "preprocess", "variable-len", "fused", "tensor-core")
+	for _, p := range perf.AllProfiles() {
+		speed := "medium"
+		switch {
+		case p.GemmEff >= 0.84 || p.TensorCore:
+			speed = "fastest"
+		case p.GemmEff >= 0.75 || p.Name == "Turbo" || p.Name == "onnxruntime":
+			speed = "fast"
+		}
+		t.row(p.Name, speed, yesNo(p.Preprocess), yesNo(p.VariableLength), yesNo(p.Fused), yesNo(p.TensorCore))
+	}
+	t.flush()
+	return nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func runTable2(w io.Writer) error {
+	est := perf.NewEstimator(perf.TeslaV100())
+	cfg := model.BertBase()
+	t := newTable(w)
+	t.row("(batch,seq)", "softmax/attn before", "after", "layernorm/attn before", "after")
+	for _, batch := range []int{1, 20} {
+		for _, seq := range []int{10, 100, 500} {
+			sb, sa, lb, la := est.Table2Proportions(cfg, batch, seq)
+			t.row(fmt.Sprintf("(%d,%d)", batch, seq),
+				pct(sb), pct(sa), pct(lb), pct(la))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+func runFig5(w io.Writer) error {
+	dev := cudasim.NewDevice(cudasim.TeslaV100())
+	const heads, hidden = 12, 768
+
+	fmt.Fprintln(w, "Softmax speedup (Turbo vs FasterTransformer baseline | vs cuDNN | vs Turbo-without-ILP ablation):")
+	t := newTable(w)
+	t.row("(batch,seq)", "vs baseline", "vs cuDNN", "vs no-ILP")
+	for _, batch := range []int{1, 20} {
+		for _, seq := range fig5Seqs {
+			rows := batch * heads * seq
+			turbo := reduction.TimeSoftmax(dev, reduction.SoftmaxTurbo, rows, seq)
+			base := reduction.TimeSoftmax(dev, reduction.SoftmaxBaseline, rows, seq)
+			cud := reduction.TimeSoftmax(dev, reduction.SoftmaxCuDNN, rows, seq)
+			noilp := reduction.TimeSoftmax(dev, reduction.SoftmaxTurboNoILP, rows, seq)
+			t.row(fmt.Sprintf("(%d,%d)", batch, seq),
+				speedup(base.Cycles, turbo.Cycles),
+				speedup(cud.Cycles, turbo.Cycles),
+				speedup(noilp.Cycles, turbo.Cycles))
+		}
+	}
+	t.flush()
+
+	fmt.Fprintln(w, "\nLayerNorm speedup (Turbo vs baseline | vs two-pass-butterfly ablation, Eq. 1 contribution):")
+	t = newTable(w)
+	t.row("(batch,seq)", "vs baseline", "vs two-pass")
+	for _, batch := range []int{1, 20} {
+		for _, seq := range fig5Seqs {
+			rows := batch * seq
+			turbo := reduction.TimeLayerNorm(dev, reduction.LayerNormTurbo, rows, hidden)
+			base := reduction.TimeLayerNorm(dev, reduction.LayerNormBaseline, rows, hidden)
+			twoPass := reduction.TimeLayerNorm(dev, reduction.LayerNormTurboTwoPass, rows, hidden)
+			t.row(fmt.Sprintf("(%d,%d)", batch, seq),
+				speedup(base.Cycles, turbo.Cycles),
+				speedup(twoPass.Cycles, turbo.Cycles))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+func speedup(baseline, target int64) string {
+	return fmt.Sprintf("%.2fx", float64(baseline)/float64(target))
+}

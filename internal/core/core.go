@@ -1,0 +1,129 @@
+// Package core is the TurboTransformers computing runtime: it ties together
+// the fused computation graph, the CPU kernel implementations, and the
+// sequence-length-aware memory manager into an engine a caller can run
+// variable-length inference on — the Go analogue of the paper's
+// "turbo_transformers.BertModel.from_torch(...)" three-line integration.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/allocator"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// AllocatorKind selects the memory manager (§4.2 comparisons).
+type AllocatorKind string
+
+// Supported allocator kinds.
+const (
+	AllocTurbo   AllocatorKind = "turbo"
+	AllocGSOC    AllocatorKind = "gsoc"
+	AllocCaching AllocatorKind = "caching"
+	AllocNaive   AllocatorKind = "naive"
+)
+
+// NewAllocator builds the named allocator over dev.
+func NewAllocator(kind AllocatorKind, dev *allocator.Device) (allocator.Allocator, error) {
+	switch kind {
+	case AllocTurbo, "":
+		return allocator.NewTurbo(dev), nil
+	case AllocGSOC:
+		return allocator.NewGSOC(dev), nil
+	case AllocCaching:
+		return allocator.NewCaching(dev), nil
+	case AllocNaive:
+		return allocator.NewNaiveArena(dev), nil
+	}
+	return nil, fmt.Errorf("core: unknown allocator kind %q", kind)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Seed drives deterministic weight initialisation.
+	Seed int64
+	// Unfused executes the Fig. 3a graph instead of the fused one
+	// (for comparisons; the default is the fused runtime).
+	Unfused bool
+	// Allocator selects the memory manager (default: turbo).
+	Allocator AllocatorKind
+	// Classes attaches a classification head when > 0.
+	Classes int
+	// TensorCore emulates the Turbo-TC numeric path: FP16 GEMM operands
+	// with FP32 accumulation (§6.2.1's "minimal and acceptable precision
+	// loss").
+	TensorCore bool
+}
+
+// Engine is a ready-to-serve transformer model: tokeniser-facing embedding,
+// encoder stack, and optional classification head.
+type Engine struct {
+	Cfg        model.Config
+	Embedding  *model.Embedding
+	Encoder    *model.Encoder
+	Classifier *model.Classifier
+
+	dev *allocator.Device
+}
+
+// NewEngine builds an engine for the given model configuration.
+func NewEngine(cfg model.Config, opts Options) (*Engine, error) {
+	if cfg.IsDecoder {
+		return nil, fmt.Errorf("core: decoder configs are served via model.Decoder")
+	}
+	dev := allocator.NewDevice()
+	alloc, err := NewAllocator(opts.Allocator, dev)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := model.NewEncoder(cfg, opts.Seed, alloc, !opts.Unfused)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TensorCore {
+		enc.EnableTensorCoreEmulation()
+	}
+	e := &Engine{
+		Cfg:       cfg,
+		Embedding: model.NewEmbedding(cfg, opts.Seed+500),
+		Encoder:   enc,
+		dev:       dev,
+	}
+	if opts.Classes > 0 {
+		e.Classifier = model.NewClassifier(cfg.Hidden, opts.Classes, opts.Seed+900)
+	}
+	return e, nil
+}
+
+// Encode embeds and encodes a batch of token sequences, returning the final
+// hidden states [batch, maxLen, hidden] plus per-request lengths.
+func (e *Engine) Encode(batchTokens [][]int) (*tensor.Tensor, []int, error) {
+	hidden, seqLens, err := e.Embedding.Encode(batchTokens)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, _, err := e.Encoder.Forward(hidden, seqLens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, seqLens, nil
+}
+
+// Classify runs the full pipeline and returns one class per request.
+func (e *Engine) Classify(batchTokens [][]int) ([]int, error) {
+	if e.Classifier == nil {
+		return nil, fmt.Errorf("core: engine built without a classification head")
+	}
+	hidden, _, err := e.Encode(batchTokens)
+	if err != nil {
+		return nil, err
+	}
+	return e.Classifier.Predict(hidden)
+}
+
+// MemoryStats reports the simulated device-memory counters, the quantities
+// Figures 11–12 track.
+func (e *Engine) MemoryStats() allocator.Snapshot {
+	return e.dev.Snapshot()
+}

@@ -1,0 +1,111 @@
+// Package cudasim is a cycle-level model of a CUDA-capable GPU, built to
+// study the batch-reduction kernels of §4.1.2 without GPU hardware.
+//
+// The model captures exactly the three effects the paper's optimization
+// targets:
+//
+//  1. Block-level synchronisation (__syncthreads) cost — charged per barrier,
+//     so algorithms that amortise one barrier across X rows win.
+//  2. Warp divergence on non-32-aligned boundaries — charged per predicated
+//     boundary check, so merging X boundary checks into one wins.
+//  3. Instruction-issue dependency stalls — a per-warp register scoreboard
+//     makes a dependent SHFL→FADD chain stall for the shuffle latency, while
+//     independent chains issue back-to-back (§4.1.2, Fig. 4).
+//
+// Kernels are written as warp programs over 32-lane vector registers that
+// hold real FP32 data, so every simulated kernel is also functionally
+// verifiable against the CPU references in internal/kernels.
+package cudasim
+
+// Config describes the simulated device. Latencies are in core clock cycles
+// and are "effective" values — i.e. the average observed by a warp at
+// realistic occupancy, not worst-case DRAM round trips.
+type Config struct {
+	Name string
+
+	NumSMs   int // streaming multiprocessors
+	WarpSize int // lanes per warp (32 on every NVIDIA part)
+
+	// MaxWarpsPerBlock caps the block size the kernels may request.
+	MaxWarpsPerBlock int
+	// BlocksPerSM is how many blocks an SM interleaves concurrently.
+	BlocksPerSM int
+
+	// Per-instruction issue and result latencies.
+	IssueCost          int64 // cycles between instruction issues in one warp
+	ArithLatency       int64 // FADD/FMUL/FMAX result latency
+	SFULatency         int64 // exp/rsqrt special-function latency
+	ShuffleLatency     int64 // __shfl_*_sync result latency
+	SharedStoreLatency int64 // shared-memory store visibility latency
+	SharedLoadLatency  int64 // shared-memory load result latency
+	GlobalLoadLatency  int64 // effective global-memory load latency
+	GlobalStoreLatency int64 // effective global-memory store cost
+
+	SyncCost     int64 // __syncthreads barrier overhead after alignment
+	BoundaryCost int64 // predicate computation + divergence on partial warps
+
+	KernelLaunchCycles int64 // driver + dispatch overhead per kernel launch
+
+	ClockGHz float64 // core clock, for cycle→time conversion
+	// MemBandwidthBytesPerCycle is the device-wide DRAM bandwidth expressed
+	// per core-clock cycle; it lower-bounds kernel duration for streaming
+	// workloads.
+	MemBandwidthBytesPerCycle float64
+}
+
+// TeslaV100 models the GPU used for the paper's Figure 5 kernel study.
+// 80 SMs @ 1.38 GHz, 900 GB/s HBM2.
+func TeslaV100() Config {
+	return Config{
+		Name:               "Tesla V100",
+		NumSMs:             80,
+		WarpSize:           32,
+		MaxWarpsPerBlock:   32,
+		BlocksPerSM:        2,
+		IssueCost:          1,
+		ArithLatency:       4,
+		SFULatency:         16,
+		ShuffleLatency:     12,
+		SharedStoreLatency: 6,
+		SharedLoadLatency:  24,
+		GlobalLoadLatency:  48,
+		GlobalStoreLatency: 8,
+		SyncCost:           36,
+		BoundaryCost:       10,
+		KernelLaunchCycles: 2400,
+		ClockGHz:           1.38,
+		// 900 GB/s at 1.38 GHz ≈ 652 bytes per core cycle.
+		MemBandwidthBytesPerCycle: 652,
+	}
+}
+
+// RTX2060 models the GPU used for the paper's end-to-end experiments.
+// 30 SMs @ 1.68 GHz, 336 GB/s GDDR6.
+func RTX2060() Config {
+	return Config{
+		Name:               "RTX 2060",
+		NumSMs:             30,
+		WarpSize:           32,
+		MaxWarpsPerBlock:   32,
+		BlocksPerSM:        2,
+		IssueCost:          1,
+		ArithLatency:       4,
+		SFULatency:         16,
+		ShuffleLatency:     14,
+		SharedStoreLatency: 6,
+		SharedLoadLatency:  26,
+		GlobalLoadLatency:  56,
+		GlobalStoreLatency: 8,
+		SyncCost:           40,
+		BoundaryCost:       10,
+		KernelLaunchCycles: 2800,
+		ClockGHz:           1.68,
+		// 336 GB/s at 1.68 GHz = 200 bytes per core cycle.
+		MemBandwidthBytesPerCycle: 200,
+	}
+}
+
+// CyclesToSeconds converts a cycle count to wall-clock seconds on this device.
+func (c Config) CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) / (c.ClockGHz * 1e9)
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+// LayerConfig describes one transformer encoder layer's geometry.
+type LayerConfig struct {
+	Hidden int
+	Heads  int
+	Inter  int
+	Act    kernels.Activation
+}
+
+// HeadDim returns Hidden/Heads, panicking on indivisibility.
+func (c LayerConfig) HeadDim() int {
+	if c.Hidden%c.Heads != 0 {
+		panic(fmt.Sprintf("graph: hidden %d not divisible by heads %d", c.Hidden, c.Heads))
+	}
+	return c.Hidden / c.Heads
+}
+
+// WeightNames lists the parameter tensors an encoder layer binds, in the
+// order the builders declare them. Both the fused and unfused graphs use
+// the same weight set, so one binding serves both.
+var WeightNames = []string{
+	"attn.wq", "attn.wk", "attn.wv",
+	"attn.bq", "attn.bk", "attn.bv",
+	"attn.wo", "attn.bo",
+	"attn.ln.gamma", "attn.ln.beta",
+	"ffn.w1", "ffn.b1",
+	"ffn.w2", "ffn.b2",
+	"ffn.ln.gamma", "ffn.ln.beta",
+}
+
+// declareWeights adds the standard weight set and returns name→tensorID.
+func declareWeights(g *Graph, c LayerConfig) map[string]int {
+	h, inter := int64(c.Hidden), int64(c.Inter)
+	dims := map[string]int64{
+		"attn.wq": h * h, "attn.wk": h * h, "attn.wv": h * h,
+		"attn.bq": h, "attn.bk": h, "attn.bv": h,
+		"attn.wo": h * h, "attn.bo": h,
+		"attn.ln.gamma": h, "attn.ln.beta": h,
+		"ffn.w1": h * inter, "ffn.b1": inter,
+		"ffn.w2": inter * h, "ffn.b2": h,
+		"ffn.ln.gamma": h, "ffn.ln.beta": h,
+	}
+	ids := make(map[string]int, len(WeightNames))
+	for _, name := range WeightNames {
+		ids[name] = g.AddTensor(name, TensorWeight, DimExpr{Const: dims[name]})
+	}
+	return ids
+}
+
+// NewEncoderLayerUnfused builds the Fig. 3a graph: the operator stream a
+// training framework executes, with separate bias/activation/transpose/
+// residual/layernorm kernels around every GEMM.
+func NewEncoderLayerUnfused(c LayerConfig) *Graph {
+	g := &Graph{
+		Name:    "encoder-layer-unfused",
+		Hidden:  c.Hidden,
+		Heads:   c.Heads,
+		HeadDim: c.HeadDim(),
+		Inter:   c.Inter,
+	}
+	h := int64(c.Hidden)
+	inter := int64(c.Inter)
+	heads := int64(c.Heads)
+	w := declareWeights(g, c)
+
+	x := g.AddTensor("from_tensor", TensorInput, DimExpr{BS: h})
+	g.Input = x
+
+	hid := DimExpr{BS: h}        // [B,S,H]-shaped
+	score := DimExpr{BSS: heads} // [B,heads,S,S]
+	interD := DimExpr{BS: inter} // [B,S,inter]
+	gemmA := Attr{N: c.Hidden, K: c.Hidden}
+
+	// Attention projections: gemm → add bias → transpose, per Q/K/V.
+	var perHead [3]int
+	for i, nm := range []string{"q", "k", "v"} {
+		lin := g.AddTensor(nm+"_lin", TensorIntermediate, hid)
+		g.AddOp(OpGemm, "gemm_"+nm, []int{x}, []int{lin}, []int{w["attn.w"+nm]}, gemmA)
+		biased := g.AddTensor(nm+"_biased", TensorIntermediate, hid)
+		g.AddOp(OpAddBias, "bias_"+nm, []int{lin}, []int{biased}, []int{w["attn.b"+nm]}, Attr{})
+		t := g.AddTensor(nm+"_t", TensorIntermediate, hid)
+		g.AddOp(OpTransposeForScore, "transpose_"+nm, []int{biased}, []int{t}, nil, Attr{})
+		perHead[i] = t
+	}
+
+	scores := g.AddTensor("attn_score", TensorIntermediate, score)
+	g.AddOp(OpBatchedGemmQK, "batch_gemm3", []int{perHead[0], perHead[1]}, []int{scores}, nil, Attr{})
+	probs := g.AddTensor("attn_probs", TensorIntermediate, score)
+	g.AddOp(OpSoftmax, "softmax", []int{scores}, []int{probs}, nil, Attr{})
+	ctx := g.AddTensor("ctx_layer", TensorIntermediate, hid)
+	g.AddOp(OpBatchedGemmPV, "batch_gemm4", []int{probs, perHead[2]}, []int{ctx}, nil, Attr{})
+	ctxH := g.AddTensor("trans_out", TensorIntermediate, hid)
+	g.AddOp(OpTransposeBack, "transpose_for_score", []int{ctx}, []int{ctxH}, nil, Attr{})
+
+	attnLin := g.AddTensor("attn_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm5", []int{ctxH}, []int{attnLin}, []int{w["attn.wo"]}, gemmA)
+	attnB := g.AddTensor("attn_biased", TensorIntermediate, hid)
+	g.AddOp(OpAddBias, "bias_attn", []int{attnLin}, []int{attnB}, []int{w["attn.bo"]}, Attr{})
+	attnRes := g.AddTensor("attn_res", TensorIntermediate, hid)
+	g.AddOp(OpResidualAdd, "residual_attn", []int{attnB, x}, []int{attnRes}, nil, Attr{})
+	attnOut := g.AddTensor("attn_out", TensorIntermediate, hid)
+	g.AddOp(OpLayerNorm, "layernorm_attn", []int{attnRes}, []int{attnOut},
+		[]int{w["attn.ln.gamma"], w["attn.ln.beta"]}, Attr{})
+
+	interLin := g.AddTensor("intermediate_lin", TensorIntermediate, interD)
+	g.AddOp(OpGemm, "gemm6", []int{attnOut}, []int{interLin}, []int{w["ffn.w1"]},
+		Attr{N: c.Inter, K: c.Hidden})
+	interB := g.AddTensor("intermediate_biased", TensorIntermediate, interD)
+	g.AddOp(OpAddBias, "bias_inter", []int{interLin}, []int{interB}, []int{w["ffn.b1"]}, Attr{})
+	interAct := g.AddTensor("intermediate_out", TensorIntermediate, interD)
+	g.AddOp(OpActivation, "activation", []int{interB}, []int{interAct}, nil, Attr{Act: c.Act})
+
+	outLin := g.AddTensor("out_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm7", []int{interAct}, []int{outLin}, []int{w["ffn.w2"]},
+		Attr{N: c.Hidden, K: c.Inter})
+	outB := g.AddTensor("out_biased", TensorIntermediate, hid)
+	g.AddOp(OpAddBias, "bias_out", []int{outLin}, []int{outB}, []int{w["ffn.b2"]}, Attr{})
+	outRes := g.AddTensor("out_res", TensorIntermediate, hid)
+	g.AddOp(OpResidualAdd, "residual_out", []int{outB, attnOut}, []int{outRes}, nil, Attr{})
+	layerOut := g.AddTensor("layer_out", TensorOutput, hid)
+	g.AddOp(OpLayerNorm, "layernorm_out", []int{outRes}, []int{layerOut},
+		[]int{w["ffn.ln.gamma"], w["ffn.ln.beta"]}, Attr{})
+	g.Output = layerOut
+	return g
+}
+
+// NewEncoderLayerFused builds the Fig. 3b / Fig. 6 graph directly: every
+// chain of non-GEMM kernels between two GEMMs collapsed into a fused kernel.
+// It uses the same weight set as the unfused builder, so bindings transfer.
+func NewEncoderLayerFused(c LayerConfig) *Graph {
+	g := &Graph{
+		Name:    "encoder-layer-fused",
+		Hidden:  c.Hidden,
+		Heads:   c.Heads,
+		HeadDim: c.HeadDim(),
+		Inter:   c.Inter,
+	}
+	h := int64(c.Hidden)
+	inter := int64(c.Inter)
+	heads := int64(c.Heads)
+	w := declareWeights(g, c)
+
+	x := g.AddTensor("from_tensor", TensorInput, DimExpr{BS: h})
+	g.Input = x
+
+	hid := DimExpr{BS: h}
+	score := DimExpr{BSS: heads}
+	interD := DimExpr{BS: inter}
+
+	qkvOut := g.AddTensor("qkv_out", TensorIntermediate, DimExpr{BS: 3 * h})
+	g.AddOp(OpFusedGemmQKV, "fused_gemm012", []int{x}, []int{qkvOut},
+		[]int{w["attn.wq"], w["attn.wk"], w["attn.wv"]}, Attr{N: 3 * c.Hidden, K: c.Hidden})
+
+	q := g.AddTensor("q", TensorIntermediate, hid)
+	k := g.AddTensor("k", TensorIntermediate, hid)
+	v := g.AddTensor("v", TensorIntermediate, hid)
+	g.AddOp(OpSplitAddBiasTranspose, "split_add_bias_transpose", []int{qkvOut}, []int{q, k, v},
+		[]int{w["attn.bq"], w["attn.bk"], w["attn.bv"]}, Attr{})
+
+	scores := g.AddTensor("attn_score", TensorIntermediate, score)
+	g.AddOp(OpBatchedGemmQK, "batch_gemm3", []int{q, k}, []int{scores}, nil, Attr{})
+	probs := g.AddTensor("attn_probs", TensorIntermediate, score)
+	g.AddOp(OpSoftmax, "softmax", []int{scores}, []int{probs}, nil, Attr{})
+	ctx := g.AddTensor("ctx_layer", TensorIntermediate, hid)
+	g.AddOp(OpBatchedGemmPV, "batch_gemm4", []int{probs, v}, []int{ctx}, nil, Attr{})
+	ctxH := g.AddTensor("trans_out", TensorIntermediate, hid)
+	g.AddOp(OpTransposeBack, "transpose_for_score", []int{ctx}, []int{ctxH}, nil, Attr{})
+
+	attnLin := g.AddTensor("attn_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm5", []int{ctxH}, []int{attnLin}, []int{w["attn.wo"]},
+		Attr{N: c.Hidden, K: c.Hidden})
+	attnOut := g.AddTensor("attn_out", TensorIntermediate, hid)
+	g.AddOp(OpAddBiasLayerNorm, "add_bias_layernorm", []int{attnLin, x}, []int{attnOut},
+		[]int{w["attn.bo"], w["attn.ln.gamma"], w["attn.ln.beta"]}, Attr{})
+
+	interLin := g.AddTensor("intermediate_lin", TensorIntermediate, interD)
+	g.AddOp(OpGemm, "gemm6", []int{attnOut}, []int{interLin}, []int{w["ffn.w1"]},
+		Attr{N: c.Inter, K: c.Hidden})
+	interOut := g.AddTensor("intermediate_out", TensorIntermediate, interD)
+	g.AddOp(OpAddBiasAct, "add_bias_act", []int{interLin}, []int{interOut},
+		[]int{w["ffn.b1"]}, Attr{Act: c.Act})
+
+	outLin := g.AddTensor("out_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm7", []int{interOut}, []int{outLin}, []int{w["ffn.w2"]},
+		Attr{N: c.Hidden, K: c.Inter})
+	layerOut := g.AddTensor("layer_out", TensorOutput, hid)
+	g.AddOp(OpAddBiasLayerNorm, "add_bias_layernorm_out", []int{outLin, attnOut}, []int{layerOut},
+		[]int{w["ffn.b2"], w["ffn.ln.gamma"], w["ffn.ln.beta"]}, Attr{})
+	g.Output = layerOut
+	return g
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the graph in Graphviz DOT format: operators as boxes
+// (GEMM-class shaded), tensors as edges labelled with their symbolic
+// element counts. Useful for inspecting what the fusion pass did:
+//
+//	g := graph.Fuse(graph.NewEncoderLayerUnfused(cfg))
+//	g.WriteDot(os.Stdout)
+func (g *Graph) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", g.Name)
+
+	for _, op := range g.Ops {
+		if op == nil {
+			continue
+		}
+		style := ""
+		if op.Kind.IsGemm() {
+			style = ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&b, "  op%d [label=%q%s];\n", op.ID, op.Name, style)
+	}
+
+	// Graph input/output pseudo-nodes.
+	fmt.Fprintf(&b, "  in [label=%q, shape=ellipse];\n", g.Tensors[g.Input].Name)
+	fmt.Fprintf(&b, "  out [label=%q, shape=ellipse];\n", g.Tensors[g.Output].Name)
+
+	edgeLabel := func(tid int) string {
+		t := g.Tensors[tid]
+		parts := []string{}
+		if t.Elems.BSS != 0 {
+			parts = append(parts, fmt.Sprintf("%d·B·S²", t.Elems.BSS))
+		}
+		if t.Elems.BS != 0 {
+			parts = append(parts, fmt.Sprintf("%d·B·S", t.Elems.BS))
+		}
+		if t.Elems.Const != 0 {
+			parts = append(parts, fmt.Sprintf("%d", t.Elems.Const))
+		}
+		return t.Name + "\\n" + strings.Join(parts, "+")
+	}
+
+	for _, op := range g.Ops {
+		if op == nil {
+			continue
+		}
+		for _, in := range op.Inputs {
+			switch {
+			case in == g.Input:
+				fmt.Fprintf(&b, "  in -> op%d;\n", op.ID)
+			default:
+				if prod := g.Producer(in); prod != nil {
+					fmt.Fprintf(&b, "  op%d -> op%d [label=%q];\n", prod.ID, op.ID, edgeLabel(in))
+				}
+			}
+		}
+		for _, o := range op.Outputs {
+			if o == g.Output {
+				fmt.Fprintf(&b, "  op%d -> out;\n", op.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDotFusedGraph(t *testing.T) {
+	g := NewEncoderLayerFused(testConfig())
+	var buf bytes.Buffer
+	if err := g.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph", "fused_gemm012", "split_add_bias_transpose", "softmax",
+		"rankdir=TB", "-> out;", "in ->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// GEMM nodes are shaded; softmax is not.
+	if !strings.Contains(out, "fillcolor=lightgrey") {
+		t.Fatal("GEMM shading missing")
+	}
+	// Edge labels carry symbolic shapes.
+	if !strings.Contains(out, "B·S") {
+		t.Fatal("symbolic shape labels missing")
+	}
+}
+
+func TestWriteDotUnfusedHasMoreNodes(t *testing.T) {
+	var fused, unfused bytes.Buffer
+	if err := NewEncoderLayerFused(testConfig()).WriteDot(&fused); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEncoderLayerUnfused(testConfig()).WriteDot(&unfused); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(unfused.String(), "label=") <= strings.Count(fused.String(), "label=") {
+		t.Fatal("unfused graph should render more nodes/edges")
+	}
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/blas"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Executor runs a graph on real FP32 data: intermediates are placed by the
+// configured allocator's plan (so the planner's offsets are exercised by
+// actual reads and writes — any overlap bug corrupts the numerics), weights
+// are bound by tensor ID, and ops dispatch to internal/kernels.
+type Executor struct {
+	G       *Graph
+	Weights map[int]*tensor.Tensor
+	Alloc   allocator.Allocator
+
+	zeroBias []float32 // shared zero bias for unfused transposes
+
+	// tensorCore emulates the Turbo-TC numeric path: GEMM operands are
+	// rounded through binary16 while accumulation stays FP32 — exactly
+	// what Tensor Cores compute. Enabled via EnableTensorCoreEmulation.
+	tensorCore  bool
+	halfWeights map[int]*tensor.Tensor
+}
+
+// RunStats reports per-inference memory-planning metrics (Fig. 13 measures
+// PlanTime against inference latency).
+type RunStats struct {
+	PlanTime       time.Duration
+	FootprintBytes int64
+	NumRecords     int
+}
+
+// NewExecutor validates the graph and the weight binding and returns an
+// executor.
+func NewExecutor(g *Graph, weights map[int]*tensor.Tensor, alloc allocator.Allocator) (*Executor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range g.Tensors {
+		if t.Kind != TensorWeight {
+			continue
+		}
+		w, ok := weights[t.ID]
+		if !ok {
+			return nil, fmt.Errorf("graph %s: weight %s (tensor %d) not bound", g.Name, t.Name, t.ID)
+		}
+		if int64(w.NumElements()) != t.Elems.Eval(0, 0) {
+			return nil, fmt.Errorf("graph %s: weight %s has %d elements, want %d",
+				g.Name, t.Name, w.NumElements(), t.Elems.Eval(0, 0))
+		}
+	}
+	return &Executor{
+		G:        g,
+		Weights:  weights,
+		Alloc:    alloc,
+		zeroBias: make([]float32, g.Hidden),
+	}, nil
+}
+
+// Run executes the graph on input [batch, seq, hidden]. seqLens gives each
+// request's true length for attention masking (nil means all full-length).
+// It returns the output as a fresh tensor plus planning stats.
+func (e *Executor) Run(input *tensor.Tensor, seqLens []int) (*tensor.Tensor, RunStats, error) {
+	batch, seq := input.Dim(0), input.Dim(1)
+	records := e.G.UsageRecords(batch, seq)
+	planStart := time.Now()
+	plan := e.Alloc.Plan(records)
+	stats := RunStats{
+		PlanTime:       time.Since(planStart),
+		FootprintBytes: plan.FootprintBytes(),
+		NumRecords:     len(records),
+	}
+	if err := allocator.Validate(plan, records); err != nil {
+		return nil, stats, fmt.Errorf("graph %s: allocator %s produced invalid plan: %w",
+			e.G.Name, e.Alloc.Name(), err)
+	}
+	out, err := e.RunWithPlan(input, seqLens, plan)
+	return out, stats, err
+}
+
+// EnableTensorCoreEmulation switches GEMMs to the FP16-operand / FP32-
+// accumulate numeric path of the Turbo-TC configuration (§6.2.1). Weights
+// are rounded once; activations are rounded at each GEMM boundary.
+func (e *Executor) EnableTensorCoreEmulation() {
+	if e.tensorCore {
+		return
+	}
+	e.tensorCore = true
+	e.halfWeights = make(map[int]*tensor.Tensor, len(e.Weights))
+	for id, w := range e.Weights {
+		e.halfWeights[id] = w.RoundedF16()
+	}
+}
+
+// gemmOperand returns the activation buffer to feed a GEMM: the raw data
+// in FP32 mode, or an FP16-rounded copy under Tensor-Core emulation.
+func (e *Executor) gemmOperand(in []float32) []float32 {
+	if !e.tensorCore {
+		return in
+	}
+	rounded := make([]float32, len(in))
+	copy(rounded, in)
+	tensor.RoundSliceF16(rounded)
+	return rounded
+}
+
+// gemmWeight returns the weight buffer for a GEMM under the current
+// numeric mode.
+func (e *Executor) gemmWeight(id int) []float32 {
+	if e.tensorCore {
+		return e.halfWeights[id].Data()
+	}
+	return e.Weights[id].Data()
+}
+
+// RunWithPlan executes the graph with a pre-computed memory plan. This is
+// the paper's repeated-structure optimisation (§6.2.2): a model with L
+// identical layers plans once and reuses the offsets for every layer.
+func (e *Executor) RunWithPlan(input *tensor.Tensor, seqLens []int, plan *allocator.Plan) (*tensor.Tensor, error) {
+	g := e.G
+	if input.Rank() != 3 || input.Dim(2) != g.Hidden {
+		return nil, fmt.Errorf("graph %s: input shape %v, want [batch, seq, %d]",
+			g.Name, input.Shape(), g.Hidden)
+	}
+	batch, seq := input.Dim(0), input.Dim(1)
+	if seqLens != nil && len(seqLens) != batch {
+		return nil, fmt.Errorf("graph %s: %d seqLens for batch %d", g.Name, len(seqLens), batch)
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	data := func(id int) []float32 {
+		t := g.Tensors[id]
+		switch t.Kind {
+		case TensorInput:
+			return input.Data()
+		case TensorWeight:
+			return e.Weights[id].Data()
+		default:
+			return plan.TensorData(id, int(t.Elems.Eval(batch, seq)))
+		}
+	}
+
+	for _, opIdx := range order {
+		if err := e.execOp(g.Ops[opIdx], data, batch, seq, seqLens); err != nil {
+			return nil, fmt.Errorf("graph %s op %s: %w", g.Name, g.Ops[opIdx].Name, err)
+		}
+	}
+
+	out := tensor.New(batch, seq, g.Hidden)
+	copy(out.Data(), data(g.Output))
+	return out, nil
+}
+
+func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqLens []int) error {
+	g := e.G
+	H, heads, hd := g.Hidden, g.Heads, g.HeadDim
+	rowsOf := func(id int, cols int) int {
+		return int(g.Tensors[id].Elems.Eval(batch, seq)) / cols
+	}
+
+	switch op.Kind {
+	case OpGemm:
+		in, out := e.gemmOperand(data(op.Inputs[0])), data(op.Outputs[0])
+		w := e.gemmWeight(op.Weights[0])
+		m := rowsOf(op.Inputs[0], op.Attr.K)
+		blas.Gemm(false, false, m, op.Attr.N, op.Attr.K, 1, in, op.Attr.K, w, op.Attr.N, 0, out, op.Attr.N)
+
+	case OpFusedGemmQKV:
+		in, out := e.gemmOperand(data(op.Inputs[0])), data(op.Outputs[0])
+		k := op.Attr.K
+		m := rowsOf(op.Inputs[0], k)
+		switch len(op.Weights) {
+		case 1: // pre-concatenated [K, 3H] weight
+			w := e.gemmWeight(op.Weights[0])
+			blas.Gemm(false, false, m, op.Attr.N, k, 1, in, k, w, op.Attr.N, 0, out, op.Attr.N)
+		case 3: // separate Q/K/V weights written into column bands via ldc
+			n := op.Attr.N / 3
+			for i, wid := range op.Weights {
+				blas.Gemm(false, false, m, n, k, 1, in, k, e.gemmWeight(wid), n, 0, out[i*n:], op.Attr.N)
+			}
+		default:
+			return fmt.Errorf("fused QKV gemm needs 1 or 3 weights, has %d", len(op.Weights))
+		}
+
+	case OpAddBias:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		bias := data(op.Weights[0])
+		n := len(bias)
+		rows := rowsOf(op.Outputs[0], n)
+		copy(out[:rows*n], in[:rows*n])
+		kernels.AddBias(out, bias, rows, n)
+
+	case OpActivation:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		copy(out[:n], in[:n])
+		kernels.Act(op.Attr.Act, out[:n])
+
+	case OpAddBiasAct:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		bias := data(op.Weights[0])
+		n := len(bias)
+		rows := rowsOf(op.Outputs[0], n)
+		copy(out[:rows*n], in[:rows*n])
+		kernels.AddBiasAct(op.Attr.Act, out, bias, rows, n)
+
+	case OpResidualAdd:
+		in, res, out := data(op.Inputs[0]), data(op.Inputs[1]), data(op.Outputs[0])
+		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		copy(out[:n], in[:n])
+		kernels.AddResidual(out[:n], res[:n])
+
+	case OpLayerNorm:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		gamma, beta := data(op.Weights[0]), data(op.Weights[1])
+		n := len(gamma)
+		rows := rowsOf(op.Outputs[0], n)
+		copy(out[:rows*n], in[:rows*n])
+		kernels.LayerNorm(out, gamma, beta, rows, n, 1e-5)
+
+	case OpAddBiasLayerNorm:
+		in, res, out := data(op.Inputs[0]), data(op.Inputs[1]), data(op.Outputs[0])
+		bias, gamma, beta := data(op.Weights[0]), data(op.Weights[1]), data(op.Weights[2])
+		n := len(bias)
+		rows := rowsOf(op.Outputs[0], n)
+		copy(out[:rows*n], in[:rows*n])
+		kernels.AddBiasLayerNorm(out, res, bias, gamma, beta, rows, n, 1e-5)
+
+	case OpTransposeForScore:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		kernels.AddBiasTransposeForScore(in, e.zeroBias, batch, seq, heads, hd, out)
+
+	case OpTransposeBack:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		kernels.TransposeForScore(in, batch, heads, seq, hd, out)
+
+	case OpSplitAddBiasTranspose:
+		qkv := data(op.Inputs[0])
+		q, k, v := data(op.Outputs[0]), data(op.Outputs[1]), data(op.Outputs[2])
+		bq, bk, bv := data(op.Weights[0]), data(op.Weights[1]), data(op.Weights[2])
+		bias := make([]float32, 3*H)
+		copy(bias[:H], bq)
+		copy(bias[H:2*H], bk)
+		copy(bias[2*H:], bv)
+		kernels.SplitAddBiasTransposeForScore(qkv, bias, batch, seq, heads, hd, q, k, v)
+
+	case OpBatchedGemmQK:
+		q := e.gemmOperand(data(op.Inputs[0]))
+		k := e.gemmOperand(data(op.Inputs[1]))
+		out := data(op.Outputs[0])
+		blas.StridedBatchedGemm(false, true, seq, seq, hd, 1,
+			q, hd, seq*hd, k, hd, seq*hd, 0, out, seq, seq*seq, batch*heads)
+
+	case OpSoftmax:
+		in, out := data(op.Inputs[0]), data(op.Outputs[0])
+		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		copy(out[:n], in[:n])
+		scale := float32(1 / math.Sqrt(float64(hd)))
+		kernels.MaskedScaledSoftmax(out, batch, heads, seq, seq, scale, seqLens)
+
+	case OpBatchedGemmPV:
+		p := e.gemmOperand(data(op.Inputs[0]))
+		v := e.gemmOperand(data(op.Inputs[1]))
+		out := data(op.Outputs[0])
+		blas.StridedBatchedGemm(false, false, seq, hd, seq, 1,
+			p, seq, seq*seq, v, hd, seq*hd, 0, out, hd, seq*hd, batch*heads)
+
+	default:
+		return fmt.Errorf("unhandled op kind %v", op.Kind)
+	}
+	return nil
+}

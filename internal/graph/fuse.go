@@ -1,0 +1,230 @@
+package graph
+
+// Fuse applies the kernel-fusion rewrite of §4.1.1 (Fig. 3): all non-GEMM
+// kernels between two GEMMs collapse into single fused kernels. Three rules
+// cover the transformer encoder:
+//
+//  1. Q/K/V horizontal fusion: three GEMMs sharing an input, each followed
+//     by AddBias→TransposeForScore, become FusedGemmQKV followed by
+//     SplitAddBiasTranspose.
+//  2. AddBias→ResidualAdd→LayerNorm becomes AddBiasLayerNorm.
+//  3. AddBias→Activation becomes AddBiasAct.
+//
+// The input graph is not modified; the returned graph shares tensor IDs for
+// all surviving tensors, so weight bindings carry over unchanged.
+func Fuse(g *Graph) *Graph {
+	out := cloneGraph(g)
+	fuseQKV(out)
+	fuseAddBiasResidualLayerNorm(out)
+	fuseAddBiasAct(out)
+	compact(out)
+	out.Name = g.Name + "-fused"
+	return out
+}
+
+func cloneGraph(g *Graph) *Graph {
+	c := &Graph{
+		Name:    g.Name,
+		Hidden:  g.Hidden,
+		Heads:   g.Heads,
+		HeadDim: g.HeadDim,
+		Inter:   g.Inter,
+		Input:   g.Input,
+		Output:  g.Output,
+	}
+	c.Tensors = make([]*Tensor, len(g.Tensors))
+	for i, t := range g.Tensors {
+		tc := *t
+		c.Tensors[i] = &tc
+	}
+	c.Ops = make([]*Op, len(g.Ops))
+	for i, op := range g.Ops {
+		oc := *op
+		oc.Inputs = append([]int(nil), op.Inputs...)
+		oc.Outputs = append([]int(nil), op.Outputs...)
+		oc.Weights = append([]int(nil), op.Weights...)
+		c.Ops[i] = &oc
+	}
+	return c
+}
+
+// soleConsumer returns the unique consumer of tensor id with the wanted
+// kind, or nil.
+func soleConsumer(g *Graph, id int, kind OpKind) *Op {
+	cs := g.Consumers(id)
+	if len(cs) == 1 && cs[0] != nil && cs[0].Kind == kind {
+		return cs[0]
+	}
+	return nil
+}
+
+// markDead tombstones an op (nil entries are dropped by compact).
+func markDead(g *Graph, op *Op) {
+	for i, o := range g.Ops {
+		if o == op {
+			g.Ops[i] = nil
+			return
+		}
+	}
+}
+
+// compact removes tombstoned ops and reindexes IDs.
+func compact(g *Graph) {
+	var ops []*Op
+	for _, op := range g.Ops {
+		if op != nil {
+			op.ID = len(ops)
+			ops = append(ops, op)
+		}
+	}
+	g.Ops = ops
+}
+
+// fuseQKV implements rule 1. It matches exactly the projection pattern the
+// encoder builders emit; graphs without the pattern pass through unchanged.
+func fuseQKV(g *Graph) {
+	// Group candidate GEMMs by input tensor.
+	byInput := map[int][]*Op{}
+	for _, op := range g.Ops {
+		if op == nil || op.Kind != OpGemm || len(op.Inputs) != 1 || len(op.Weights) != 1 {
+			continue
+		}
+		byInput[op.Inputs[0]] = append(byInput[op.Inputs[0]], op)
+	}
+	for x, gemms := range byInput {
+		if len(gemms) != 3 {
+			continue
+		}
+		type chainT struct{ gemm, bias, trans *Op }
+		var chains []chainT
+		ok := true
+		for _, gm := range gemms {
+			bias := soleConsumer(g, gm.Outputs[0], OpAddBias)
+			if bias == nil || len(bias.Weights) != 1 {
+				ok = false
+				break
+			}
+			trans := soleConsumer(g, bias.Outputs[0], OpTransposeForScore)
+			if trans == nil {
+				ok = false
+				break
+			}
+			chains = append(chains, chainT{gm, bias, trans})
+		}
+		if !ok {
+			continue
+		}
+		// All three GEMMs must have identical dims for the horizontal merge.
+		n, k := chains[0].gemm.Attr.N, chains[0].gemm.Attr.K
+		if chains[1].gemm.Attr != chains[0].gemm.Attr || chains[2].gemm.Attr != chains[0].gemm.Attr {
+			continue
+		}
+
+		qkvOut := g.AddTensor("qkv_out", TensorIntermediate, DimExpr{BS: 3 * int64(n)})
+		fused := &Op{
+			Kind:    OpFusedGemmQKV,
+			Name:    "fused_gemm012",
+			Inputs:  []int{x},
+			Outputs: []int{qkvOut},
+			Weights: []int{chains[0].gemm.Weights[0], chains[1].gemm.Weights[0], chains[2].gemm.Weights[0]},
+			Attr:    Attr{N: 3 * n, K: k},
+		}
+		split := &Op{
+			Kind:   OpSplitAddBiasTranspose,
+			Name:   "split_add_bias_transpose",
+			Inputs: []int{qkvOut},
+			Outputs: []int{
+				chains[0].trans.Outputs[0],
+				chains[1].trans.Outputs[0],
+				chains[2].trans.Outputs[0],
+			},
+			Weights: []int{chains[0].bias.Weights[0], chains[1].bias.Weights[0], chains[2].bias.Weights[0]},
+		}
+		// Replace the first GEMM in place (keeps rough program order) and
+		// tombstone the rest.
+		replaced := false
+		for i, op := range g.Ops {
+			if op == chains[0].gemm {
+				fused.ID = i
+				g.Ops[i] = fused
+				replaced = true
+			}
+		}
+		if !replaced {
+			g.Ops = append(g.Ops, fused)
+		}
+		for i, op := range g.Ops {
+			if op == chains[0].bias {
+				split.ID = i
+				g.Ops[i] = split
+			}
+		}
+		for _, c := range chains {
+			markDead(g, c.trans)
+		}
+		markDead(g, chains[1].gemm)
+		markDead(g, chains[2].gemm)
+		markDead(g, chains[1].bias)
+		markDead(g, chains[2].bias)
+	}
+}
+
+// fuseAddBiasResidualLayerNorm implements rule 2.
+func fuseAddBiasResidualLayerNorm(g *Graph) {
+	for _, op := range append([]*Op(nil), g.Ops...) {
+		if op == nil || op.Kind != OpAddBias || len(op.Weights) != 1 {
+			continue
+		}
+		res := soleConsumer(g, op.Outputs[0], OpResidualAdd)
+		if res == nil || res.Inputs[0] != op.Outputs[0] {
+			continue
+		}
+		ln := soleConsumer(g, res.Outputs[0], OpLayerNorm)
+		if ln == nil || len(ln.Weights) != 2 {
+			continue
+		}
+		fused := &Op{
+			Kind:    OpAddBiasLayerNorm,
+			Name:    "add_bias_layernorm",
+			Inputs:  []int{op.Inputs[0], res.Inputs[1]}, // gemm output, residual
+			Outputs: []int{ln.Outputs[0]},
+			Weights: []int{op.Weights[0], ln.Weights[0], ln.Weights[1]},
+		}
+		for i, o := range g.Ops {
+			if o == op {
+				fused.ID = i
+				g.Ops[i] = fused
+			}
+		}
+		markDead(g, res)
+		markDead(g, ln)
+	}
+}
+
+// fuseAddBiasAct implements rule 3.
+func fuseAddBiasAct(g *Graph) {
+	for _, op := range append([]*Op(nil), g.Ops...) {
+		if op == nil || op.Kind != OpAddBias || len(op.Weights) != 1 {
+			continue
+		}
+		act := soleConsumer(g, op.Outputs[0], OpActivation)
+		if act == nil {
+			continue
+		}
+		fused := &Op{
+			Kind:    OpAddBiasAct,
+			Name:    "add_bias_act",
+			Inputs:  []int{op.Inputs[0]},
+			Outputs: []int{act.Outputs[0]},
+			Weights: []int{op.Weights[0]},
+			Attr:    Attr{Act: act.Attr.Act},
+		}
+		for i, o := range g.Ops {
+			if o == op {
+				fused.ID = i
+				g.Ops[i] = fused
+			}
+		}
+		markDead(g, act)
+	}
+}

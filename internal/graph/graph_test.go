@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/allocator"
+	"repro/internal/kernels"
+)
+
+func testConfig() LayerConfig {
+	// Small but structurally faithful: multiple heads, inter = 4×hidden.
+	return LayerConfig{Hidden: 32, Heads: 4, Inter: 128, Act: kernels.ActGELU}
+}
+
+func bertBaseConfig() LayerConfig {
+	return LayerConfig{Hidden: 768, Heads: 12, Inter: 3072, Act: kernels.ActGELU}
+}
+
+func TestBuildersValidate(t *testing.T) {
+	for _, g := range []*Graph{
+		NewEncoderLayerUnfused(testConfig()),
+		NewEncoderLayerFused(testConfig()),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestUnfusedOpCount(t *testing.T) {
+	g := NewEncoderLayerUnfused(testConfig())
+	if g.NumOps() != 24 {
+		t.Fatalf("unfused encoder has %d ops, want 24 (Fig. 3a)", g.NumOps())
+	}
+}
+
+func TestFusedOpCount(t *testing.T) {
+	g := NewEncoderLayerFused(testConfig())
+	if g.NumOps() != 12 {
+		t.Fatalf("fused encoder has %d ops, want 12 (Fig. 3b)", g.NumOps())
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := NewEncoderLayerUnfused(testConfig())
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for p, op := range order {
+		pos[op] = p
+	}
+	for _, op := range g.Ops {
+		for _, in := range op.Inputs {
+			prod := g.Producer(in)
+			if prod == nil {
+				continue
+			}
+			if pos[prod.ID] >= pos[op.ID] {
+				t.Fatalf("producer %s not before consumer %s", prod.Name, op.Name)
+			}
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := &Graph{Name: "cyclic"}
+	a := g.AddTensor("a", TensorIntermediate, DimExpr{Const: 1})
+	b := g.AddTensor("b", TensorIntermediate, DimExpr{Const: 1})
+	g.AddOp(OpAddBias, "x", []int{a}, []int{b}, nil, Attr{})
+	g.AddOp(OpAddBias, "y", []int{b}, []int{a}, nil, Attr{})
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestFusePassMatchesHandBuiltFusedGraph(t *testing.T) {
+	unfused := NewEncoderLayerUnfused(testConfig())
+	fused := Fuse(unfused)
+	if err := fused.Validate(); err != nil {
+		t.Fatalf("fused graph invalid: %v", err)
+	}
+	want := NewEncoderLayerFused(testConfig())
+	if fused.Signature() != want.Signature() {
+		t.Fatalf("fusion signature mismatch:\n got  %s\n want %s", fused.Signature(), want.Signature())
+	}
+	if fused.NumOps() != 12 {
+		t.Fatalf("fused graph has %d ops, want 12", fused.NumOps())
+	}
+}
+
+func TestFuseIdempotentOnFusedGraph(t *testing.T) {
+	g := NewEncoderLayerFused(testConfig())
+	again := Fuse(g)
+	if again.Signature() != g.Signature() {
+		t.Fatalf("fusing a fused graph changed it:\n got  %s\n want %s", again.Signature(), g.Signature())
+	}
+}
+
+func TestFusePreservesWeightReferences(t *testing.T) {
+	unfused := NewEncoderLayerUnfused(testConfig())
+	fused := Fuse(unfused)
+	// Every weight referenced by the fused graph must exist with the same
+	// name/ID as in the unfused graph.
+	for _, op := range fused.Ops {
+		for _, wid := range op.Weights {
+			if fused.Tensors[wid].Name != unfused.Tensors[wid].Name {
+				t.Fatalf("weight id %d renamed across fusion", wid)
+			}
+		}
+	}
+}
+
+func TestDimExprEval(t *testing.T) {
+	d := DimExpr{Const: 5, BS: 2, BSS: 3}
+	if d.Eval(2, 10) != 5+2*20+3*200 {
+		t.Fatalf("Eval = %d", d.Eval(2, 10))
+	}
+}
+
+func TestUsageRecordsLifetimes(t *testing.T) {
+	g := NewEncoderLayerFused(bertBaseConfig())
+	records := g.UsageRecords(1, 200)
+	byName := map[string]allocator.UsageRecord{}
+	for _, r := range records {
+		if r.FirstOp > r.LastOp {
+			t.Fatalf("%s: first %d > last %d", r.Name, r.FirstOp, r.LastOp)
+		}
+		byName[r.Name] = r
+	}
+	// Fig. 6 sizes at seq 200: qkv_out = 200·2304·4 = 1,843,200 bytes;
+	// intermediate_out = 200·3072·4 = 2,457,600.
+	if got := byName["qkv_out"].Size; got != 1843200 {
+		t.Fatalf("qkv_out size = %d, want 1843200", got)
+	}
+	if got := byName["intermediate_out"].Size; got != 2457600 {
+		t.Fatalf("intermediate_out size = %d, want 2457600", got)
+	}
+	// qkv_out dies at the split (op 1); intermediate tensors later reuse it.
+	if byName["qkv_out"].LastOp != 1 {
+		t.Fatalf("qkv_out last op = %d, want 1", byName["qkv_out"].LastOp)
+	}
+	// The output must live to the end.
+	last := byName["layer_out"].LastOp
+	if last != g.NumOps()-1 {
+		t.Fatalf("layer_out last op = %d, want %d", last, g.NumOps()-1)
+	}
+	// qkv_out and q overlap (split reads qkv while writing q).
+	q, qkv := byName["q"], byName["qkv_out"]
+	if q.FirstOp > qkv.LastOp {
+		t.Fatal("q should overlap qkv_out at the split op")
+	}
+}
+
+func TestUsageRecordsScaleWithSeq(t *testing.T) {
+	g := NewEncoderLayerFused(bertBaseConfig())
+	r200 := g.UsageRecords(1, 200)
+	r240 := g.UsageRecords(1, 240)
+	if len(r200) != len(r240) {
+		t.Fatal("record count should not depend on seq")
+	}
+	for i := range r200 {
+		if r240[i].Size <= r200[i].Size {
+			t.Fatalf("%s: size must grow with seq (%d vs %d)", r200[i].Name, r200[i].Size, r240[i].Size)
+		}
+	}
+}
+
+func TestSignatureStable(t *testing.T) {
+	a := NewEncoderLayerFused(testConfig()).Signature()
+	b := NewEncoderLayerFused(testConfig()).Signature()
+	if a != b {
+		t.Fatal("signature not deterministic")
+	}
+	if !strings.HasPrefix(a, "fused_gemm012→split_add_bias_transpose→batched_gemm_qk→softmax") {
+		t.Fatalf("unexpected fused signature: %s", a)
+	}
+}
+
+func TestOpKindStringsAndIsGemm(t *testing.T) {
+	if !OpGemm.IsGemm() || !OpBatchedGemmQK.IsGemm() || !OpFusedGemmQKV.IsGemm() || !OpBatchedGemmPV.IsGemm() {
+		t.Fatal("gemm kinds misclassified")
+	}
+	if OpSoftmax.IsGemm() || OpAddBias.IsGemm() {
+		t.Fatal("non-gemm kinds misclassified")
+	}
+	if OpSoftmax.String() != "softmax" {
+		t.Fatal("op name")
+	}
+}
+
+func TestValidateCatchesBadWeightRef(t *testing.T) {
+	g := &Graph{Name: "bad"}
+	a := g.AddTensor("a", TensorInput, DimExpr{Const: 4})
+	b := g.AddTensor("b", TensorOutput, DimExpr{Const: 4})
+	g.Input, g.Output = a, b
+	g.AddOp(OpAddBias, "op", []int{a}, []int{b}, []int{a}, Attr{}) // weight ref to non-weight
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected weight-ref error")
+	}
+}
+
+func TestHeadDimPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LayerConfig{Hidden: 10, Heads: 3}.HeadDim()
+}

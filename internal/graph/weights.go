@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// RandomWeights builds a deterministic random weight binding for a graph:
+// LayerNorm gammas near 1, everything else small-normal (BERT-style init).
+// The per-tensor seed mixes the caller's seed with the weight name so the
+// fused and unfused graphs — which share weight names — get identical
+// values and can be compared numerically.
+func RandomWeights(g *Graph, seed int64) map[int]*tensor.Tensor {
+	weights := make(map[int]*tensor.Tensor)
+	for _, t := range g.Tensors {
+		if t.Kind != TensorWeight {
+			continue
+		}
+		n := int(t.Elems.Eval(0, 0))
+		s := seed + nameSeed(t.Name)
+		var w *tensor.Tensor
+		switch {
+		case strings.HasSuffix(t.Name, ".gamma"):
+			w = tensor.RandUniform(s, 0.9, 1.1, n)
+		case strings.HasSuffix(t.Name, ".beta"):
+			w = tensor.RandN(s, 0.02, n)
+		case strings.Contains(t.Name, ".b"):
+			w = tensor.RandN(s, 0.02, n)
+		default:
+			w = tensor.RandN(s, 0.05, n)
+		}
+		weights[t.ID] = w.WithName(t.Name)
+	}
+	return weights
+}
+
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffff)
+}

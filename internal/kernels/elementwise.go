@@ -1,0 +1,120 @@
+// Package kernels implements the non-GEMM operators of the transformer
+// encoder/decoder, in both unfused form (Fig. 3a — what a training framework
+// like PyTorch executes) and fused form (Fig. 3b — what the TurboTransformers
+// runtime executes). All kernels are CPU-parallel via internal/parallel and
+// are validated against each other: every fused kernel must equal the
+// composition of its unfused parts.
+//
+// Layout conventions (row-major throughout):
+//   - hidden states:        [batch, seq, hidden]
+//   - per-head activations: [batch, heads, seq, headDim]
+//   - attention scores:     [batch, heads, seqQ, seqK]
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// rowGrain is the minimum number of rows given to one goroutine.
+const rowGrain = 8
+
+// AddBias adds bias (length n) to every row of x (rows×n), in place.
+func AddBias(x []float32, bias []float32, rows, n int) {
+	checkLen("AddBias x", x, rows*n)
+	checkLen("AddBias bias", bias, n)
+	parallel.For(rows, rowGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := x[r*n : (r+1)*n]
+			for j, b := range bias {
+				row[j] += b
+			}
+		}
+	})
+}
+
+// Activation identifies the nonlinearity of the feed-forward network.
+type Activation int
+
+// Supported activations. BERT uses GELU; the original transformer used ReLU.
+const (
+	ActGELU Activation = iota
+	ActReLU
+	ActTanh
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case ActGELU:
+		return "gelu"
+	case ActReLU:
+		return "relu"
+	case ActTanh:
+		return "tanh"
+	}
+	return "unknown"
+}
+
+// gelu is the tanh approximation used by BERT.
+func gelu(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	x64 := float64(x)
+	return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+}
+
+func applyAct(a Activation, x float32) float32 {
+	switch a {
+	case ActGELU:
+		return gelu(x)
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActTanh:
+		return float32(math.Tanh(float64(x)))
+	}
+	return x
+}
+
+// Act applies the activation to x in place.
+func Act(a Activation, x []float32) {
+	parallel.For(len(x), 1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = applyAct(a, x[i])
+		}
+	})
+}
+
+// AddBiasAct is the fused bias-add + activation kernel
+// ("add bias + activation" in Fig. 3b), applied in place to x (rows×n).
+func AddBiasAct(a Activation, x []float32, bias []float32, rows, n int) {
+	checkLen("AddBiasAct x", x, rows*n)
+	checkLen("AddBiasAct bias", bias, n)
+	parallel.For(rows, rowGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := x[r*n : (r+1)*n]
+			for j, b := range bias {
+				row[j] = applyAct(a, row[j]+b)
+			}
+		}
+	})
+}
+
+// AddResidual adds res into x element-wise, in place.
+func AddResidual(x, res []float32) {
+	checkLen("AddResidual res", res, len(x))
+	parallel.For(len(x), 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += res[i]
+		}
+	})
+}
+
+func checkLen(what string, s []float32, want int) {
+	if len(s) < want {
+		panic("kernels: " + what + " too short")
+	}
+}

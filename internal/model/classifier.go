@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Classifier is the BERT-style sequence-classification head used by the
+// serving experiments' target application ("a BERT-based service ... used
+// to classify a paragraph of text", §6.3): pool the [CLS] position through
+// a tanh dense layer, then project to class logits.
+type Classifier struct {
+	Hidden  int
+	Classes int
+	PoolW   *tensor.Tensor // [hidden, hidden]
+	PoolB   *tensor.Tensor // [hidden]
+	OutW    *tensor.Tensor // [hidden, classes]
+	OutB    *tensor.Tensor // [classes]
+}
+
+// NewClassifier builds a deterministic random classification head.
+func NewClassifier(hidden, classes int, seed int64) *Classifier {
+	return &Classifier{
+		Hidden:  hidden,
+		Classes: classes,
+		PoolW:   tensor.RandN(seed, 0.05, hidden, hidden),
+		PoolB:   tensor.RandN(seed+1, 0.02, hidden),
+		OutW:    tensor.RandN(seed+2, 0.05, hidden, classes),
+		OutB:    tensor.RandN(seed+3, 0.02, classes),
+	}
+}
+
+// Logits pools position 0 of each sequence in hidden [batch, seq, hidden]
+// and returns class logits [batch, classes].
+func (c *Classifier) Logits(hidden *tensor.Tensor) (*tensor.Tensor, error) {
+	if hidden.Rank() != 3 || hidden.Dim(2) != c.Hidden {
+		return nil, fmt.Errorf("model: classifier input shape %v, want [batch, seq, %d]",
+			hidden.Shape(), c.Hidden)
+	}
+	batch, seq := hidden.Dim(0), hidden.Dim(1)
+	cls := tensor.New(batch, c.Hidden)
+	for b := 0; b < batch; b++ {
+		copy(cls.Data()[b*c.Hidden:(b+1)*c.Hidden], hidden.Data()[b*seq*c.Hidden:b*seq*c.Hidden+c.Hidden])
+	}
+	pooled := tensor.New(batch, c.Hidden)
+	blas.Gemm(false, false, batch, c.Hidden, c.Hidden, 1,
+		cls.Data(), c.Hidden, c.PoolW.Data(), c.Hidden, 0, pooled.Data(), c.Hidden)
+	kernels.AddBiasAct(kernels.ActTanh, pooled.Data(), c.PoolB.Data(), batch, c.Hidden)
+
+	logits := tensor.New(batch, c.Classes)
+	blas.Gemm(false, false, batch, c.Classes, c.Hidden, 1,
+		pooled.Data(), c.Hidden, c.OutW.Data(), c.Classes, 0, logits.Data(), c.Classes)
+	kernels.AddBias(logits.Data(), c.OutB.Data(), batch, c.Classes)
+	return logits, nil
+}
+
+// Predict returns the argmax class per request.
+func (c *Classifier) Predict(hidden *tensor.Tensor) ([]int, error) {
+	logits, err := c.Logits(hidden)
+	if err != nil {
+		return nil, err
+	}
+	batch := logits.Dim(0)
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		row := logits.Data()[b*c.Classes : (b+1)*c.Classes]
+		best := 0
+		for i, v := range row {
+			if v > row[best] {
+				best = i
+			}
+		}
+		out[b] = best
+	}
+	return out, nil
+}

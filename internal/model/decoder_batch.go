@@ -1,0 +1,107 @@
+package model
+
+import (
+	"repro/internal/blas"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// stepAll advances every live beam by one token with batched projections:
+// one [beams,H]×[H,N] GEMM per linear layer instead of per-beam GEMV-sized
+// calls. This is how a real decoder exploits the beam dimension on GPU
+// (and on our parallel CPU substrate); results are bit-identical to the
+// single-beam step because every projection is row-independent.
+//
+// Each beam's KV cache is updated in place. Returns one logits row per
+// beam.
+func (d *Decoder) stepAll(states []*decodeState, cc *crossCache, toks []int, pos int) [][]float32 {
+	h, inter, vocab := d.Cfg.Hidden, d.Cfg.Inter, d.Cfg.Vocab
+	beams := len(states)
+
+	// Embed all beams: word + position + LayerNorm, one row per beam.
+	x := make([]float32, beams*h)
+	pe := make([]float32, h)
+	positionEncoding(pos, h, pe)
+	for bi, tok := range toks {
+		row := x[bi*h : (bi+1)*h]
+		copy(row, d.Embed.Word.Data()[tok*h:(tok+1)*h])
+		for i := range row {
+			row[i] += pe[i]
+		}
+	}
+	kernels.LayerNorm(x, d.Embed.Gamma.Data(), d.Embed.Beta.Data(), beams, h, 1e-5)
+
+	// Batched scratch.
+	q := make([]float32, beams*h)
+	kNew := make([]float32, beams*h)
+	vNew := make([]float32, beams*h)
+	ctx := make([]float32, beams*h)
+	proj := make([]float32, beams*h)
+	interBuf := make([]float32, beams*inter)
+
+	batchedLinear := func(in []float32, w *tensorMat, out []float32) {
+		blas.Gemm(false, false, beams, w.n, w.k, 1, in, w.k, w.data, w.n, 0, out, w.n)
+		if w.bias != nil {
+			kernels.AddBias(out, w.bias, beams, w.n)
+		}
+	}
+
+	for l := range d.layers {
+		lw := &d.layers[l]
+
+		// Self-attention: batched Q/K/V projections, per-beam cache attend.
+		batchedLinear(x, mat(lw.selfWq, lw.selfBq), q)
+		batchedLinear(x, mat(lw.selfWk, lw.selfBk), kNew)
+		batchedLinear(x, mat(lw.selfWv, lw.selfBv), vNew)
+		for bi, st := range states {
+			st.selfK[l] = append(st.selfK[l], kNew[bi*h:(bi+1)*h]...)
+			st.selfV[l] = append(st.selfV[l], vNew[bi*h:(bi+1)*h]...)
+			T := len(st.selfK[l]) / h
+			d.attend(q[bi*h:(bi+1)*h], st.selfK[l], st.selfV[l], T, ctx[bi*h:(bi+1)*h])
+		}
+		batchedLinear(ctx, mat(lw.selfWo, lw.selfBo), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.selfLnG.Data(), lw.selfLnB.Data(), beams, h, 1e-5)
+
+		// Cross-attention: the K/V cache is shared across beams.
+		batchedLinear(x, mat(lw.crossWq, lw.crossBq), q)
+		for bi := range states {
+			d.attend(q[bi*h:(bi+1)*h], cc.k[l], cc.v[l], cc.srcLen, ctx[bi*h:(bi+1)*h])
+		}
+		batchedLinear(ctx, mat(lw.crossWo, lw.crossBo), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.crossLnG.Data(), lw.crossLnB.Data(), beams, h, 1e-5)
+
+		// Feed-forward network, batched.
+		batchedLinear(x, mat(lw.ffnW1, lw.ffnB1), interBuf)
+		kernels.Act(d.Cfg.Act, interBuf)
+		batchedLinear(interBuf, mat(lw.ffnW2, lw.ffnB2), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.ffnLnG.Data(), lw.ffnLnB.Data(), beams, h, 1e-5)
+	}
+
+	// Vocabulary projection for all beams at once.
+	logits := make([]float32, beams*vocab)
+	blas.Gemm(false, false, beams, vocab, h, 1, x, h, d.Proj.Data(), vocab, 0, logits, vocab)
+	out := make([][]float32, beams)
+	for bi := range out {
+		out[bi] = logits[bi*vocab : (bi+1)*vocab]
+	}
+	return out
+}
+
+// tensorMat bundles a weight matrix with its optional bias for
+// batchedLinear.
+type tensorMat struct {
+	data []float32
+	bias []float32
+	k, n int
+}
+
+func mat(w, b *tensor.Tensor) *tensorMat {
+	m := &tensorMat{data: w.Data(), k: w.Dim(0), n: w.Dim(1)}
+	if b != nil {
+		m.bias = b.Data()
+	}
+	return m
+}

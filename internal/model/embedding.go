@@ -1,0 +1,86 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Embedding maps token IDs to hidden states: word embedding plus sinusoidal
+// position encoding, followed by LayerNorm (the BERT input pipeline with the
+// learned position table replaced by the original transformer's sinusoids so
+// no extra state is needed for arbitrary lengths).
+type Embedding struct {
+	Hidden int
+	Vocab  int
+	Word   *tensor.Tensor // [vocab, hidden]
+	Gamma  *tensor.Tensor // [hidden]
+	Beta   *tensor.Tensor // [hidden]
+}
+
+// NewEmbedding builds a deterministic random embedding table.
+func NewEmbedding(cfg Config, seed int64) *Embedding {
+	return &Embedding{
+		Hidden: cfg.Hidden,
+		Vocab:  cfg.Vocab,
+		Word:   tensor.RandN(seed, 0.05, cfg.Vocab, cfg.Hidden),
+		Gamma:  tensor.RandUniform(seed+1, 0.9, 1.1, cfg.Hidden),
+		Beta:   tensor.RandN(seed+2, 0.02, cfg.Hidden),
+	}
+}
+
+// positionEncoding returns the sinusoidal position vector for position pos.
+func positionEncoding(pos, hidden int, out []float32) {
+	for i := 0; i < hidden; i += 2 {
+		freq := math.Pow(10000, -float64(i)/float64(hidden))
+		angle := float64(pos) * freq
+		out[i] = float32(math.Sin(angle))
+		if i+1 < hidden {
+			out[i+1] = float32(math.Cos(angle))
+		}
+	}
+}
+
+// Encode embeds a padded batch of token ID sequences into
+// [batch, maxLen, hidden]. Sequences shorter than maxLen are zero-padded.
+func (e *Embedding) Encode(batchTokens [][]int) (*tensor.Tensor, []int, error) {
+	batch := len(batchTokens)
+	if batch == 0 {
+		return nil, nil, fmt.Errorf("model: empty batch")
+	}
+	maxLen := 0
+	seqLens := make([]int, batch)
+	for i, toks := range batchTokens {
+		seqLens[i] = len(toks)
+		if len(toks) > maxLen {
+			maxLen = len(toks)
+		}
+	}
+	if maxLen == 0 {
+		return nil, nil, fmt.Errorf("model: all sequences empty")
+	}
+	out := tensor.New(batch, maxLen, e.Hidden)
+	pos := make([]float32, e.Hidden)
+	for b, toks := range batchTokens {
+		for s, tok := range toks {
+			if tok < 0 || tok >= e.Vocab {
+				return nil, nil, fmt.Errorf("model: token %d outside vocab [0,%d)", tok, e.Vocab)
+			}
+			row := out.Data()[(b*maxLen+s)*e.Hidden : (b*maxLen+s+1)*e.Hidden]
+			copy(row, e.Word.Data()[tok*e.Hidden:(tok+1)*e.Hidden])
+			positionEncoding(s, e.Hidden, pos)
+			for i := range row {
+				row[i] += pos[i]
+			}
+		}
+	}
+	// Normalise valid rows only; padding rows stay exactly zero so the
+	// attention mask is the single source of truth for request length.
+	for b, n := range seqLens {
+		row := out.Data()[b*maxLen*e.Hidden : (b*maxLen+n)*e.Hidden]
+		kernels.LayerNorm(row, e.Gamma.Data(), e.Beta.Data(), n, e.Hidden, 1e-5)
+	}
+	return out, seqLens, nil
+}

@@ -1,0 +1,103 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Encoder is a stack of transformer encoder layers executed through the
+// fused computation-graph runtime. One graph structure is shared by all
+// layers (each with its own weight binding), and — as §6.2.2 describes for
+// repeated structures — the memory plan is computed once per inference and
+// reused for every layer.
+type Encoder struct {
+	Cfg   Config
+	Graph *graph.Graph
+	// execs holds one executor per layer (ALBERT shares the same weight
+	// binding across all of them).
+	execs []*graph.Executor
+	alloc allocator.Allocator
+}
+
+// EncoderStats aggregates per-inference runtime metrics.
+type EncoderStats struct {
+	PlanTime       time.Duration
+	FootprintBytes int64
+}
+
+// NewEncoder builds an encoder with deterministic random weights drawn from
+// seed. Pass fused=false to build the unfused (training-framework-style)
+// graph for comparisons.
+func NewEncoder(cfg Config, seed int64, alloc allocator.Allocator, fused bool) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IsDecoder {
+		return nil, fmt.Errorf("model %s: use NewDecoder for decoder configs", cfg.Name)
+	}
+	var g *graph.Graph
+	if fused {
+		g = graph.NewEncoderLayerFused(cfg.LayerConfig())
+	} else {
+		g = graph.NewEncoderLayerUnfused(cfg.LayerConfig())
+	}
+	e := &Encoder{Cfg: cfg, Graph: g, alloc: alloc}
+	shared := graph.RandomWeights(g, seed)
+	for l := 0; l < cfg.Layers; l++ {
+		weights := shared
+		if !cfg.ShareLayers && l > 0 {
+			weights = graph.RandomWeights(g, seed+int64(l)*1000)
+		}
+		ex, err := graph.NewExecutor(g, weights, alloc)
+		if err != nil {
+			return nil, err
+		}
+		e.execs = append(e.execs, ex)
+	}
+	return e, nil
+}
+
+// Forward runs the full encoder stack on hidden states
+// [batch, seq, hidden]. seqLens carries each request's true length for
+// attention masking (nil = all full length). Memory offsets are planned
+// once and reused across all layers (the §6.2.2 repeated-structure trick).
+func (e *Encoder) Forward(hidden *tensor.Tensor, seqLens []int) (*tensor.Tensor, EncoderStats, error) {
+	batch, seq := hidden.Dim(0), hidden.Dim(1)
+	records := e.Graph.UsageRecords(batch, seq)
+	planStart := time.Now()
+	plan := e.alloc.Plan(records)
+	stats := EncoderStats{
+		PlanTime:       time.Since(planStart),
+		FootprintBytes: plan.FootprintBytes(),
+	}
+	if err := allocator.Validate(plan, records); err != nil {
+		return nil, stats, fmt.Errorf("model %s: invalid plan from %s: %w", e.Cfg.Name, e.alloc.Name(), err)
+	}
+	x := hidden
+	for l, ex := range e.execs {
+		out, err := ex.RunWithPlan(x, seqLens, plan)
+		if err != nil {
+			return nil, stats, fmt.Errorf("layer %d: %w", l, err)
+		}
+		x = out
+	}
+	return x, stats, nil
+}
+
+// NumLayers returns the stack depth.
+func (e *Encoder) NumLayers() int { return len(e.execs) }
+
+// EnableTensorCoreEmulation switches every layer to the FP16-operand /
+// FP32-accumulate GEMM path (the Turbo-TC numeric behaviour, §6.2.1).
+func (e *Encoder) EnableTensorCoreEmulation() {
+	for _, ex := range e.execs {
+		ex.EnableTensorCoreEmulation()
+	}
+}
+
+// Allocator exposes the memory manager (for footprint experiments).
+func (e *Encoder) Allocator() allocator.Allocator { return e.alloc }

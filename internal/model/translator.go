@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/allocator"
+	"repro/internal/tensor"
+)
+
+// Translator couples a transformer encoder with the Seq2Seq decoder — the
+// full encoder-decoder architecture of Fig. 1, as deployed in the paper's
+// real-time translation workload ("a typical Seq2seq model", §1).
+type Translator struct {
+	Embedding *Embedding
+	Encoder   *Encoder
+	Decoder   *Decoder
+}
+
+// NewTranslator builds the pipeline. The encoder runs through the fused
+// graph runtime with the given allocator; encoder and decoder must agree on
+// hidden size.
+func NewTranslator(encCfg, decCfg Config, seed int64, alloc allocator.Allocator) (*Translator, error) {
+	if encCfg.Hidden != decCfg.Hidden {
+		return nil, fmt.Errorf("model: encoder hidden %d != decoder hidden %d",
+			encCfg.Hidden, decCfg.Hidden)
+	}
+	enc, err := NewEncoder(encCfg, seed, alloc, true)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewDecoder(decCfg, seed+10000)
+	if err != nil {
+		return nil, err
+	}
+	return &Translator{
+		Embedding: NewEmbedding(encCfg, seed+20000),
+		Encoder:   enc,
+		Decoder:   dec,
+	}, nil
+}
+
+// Translate encodes the source token sequence and beam-decodes a target
+// sequence, returning hypotheses best-first.
+func (t *Translator) Translate(srcTokens []int, maxLen int) ([]Hypothesis, error) {
+	if len(srcTokens) == 0 {
+		return nil, fmt.Errorf("model: empty source sentence")
+	}
+	hidden, seqLens, err := t.Embedding.Encode([][]int{srcTokens})
+	if err != nil {
+		return nil, err
+	}
+	encoded, _, err := t.Encoder.Forward(hidden, seqLens)
+	if err != nil {
+		return nil, err
+	}
+	// Batch 1: the memory is the single sequence's hidden states [S, H].
+	srcLen := len(srcTokens)
+	memory := tensor.FromSlice(
+		encoded.Data()[:srcLen*t.Encoder.Cfg.Hidden], srcLen, t.Encoder.Cfg.Hidden)
+	return t.Decoder.BeamSearch(memory, maxLen)
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/allocator"
+)
+
+func tinyTranslator(t *testing.T) *Translator {
+	t.Helper()
+	encCfg := BertBase().Scaled(32, 4, 64, 2)
+	decCfg := tinyDecoder() // hidden 32 matches
+	tr, err := NewTranslator(encCfg, decCfg, 7, allocator.NewTurbo(allocator.NewDevice()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTranslateEndToEnd(t *testing.T) {
+	tr := tinyTranslator(t)
+	hyps, err := tr.Translate([]int{5, 8, 13, 21, 34}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) == 0 {
+		t.Fatal("no hypotheses")
+	}
+	if len(hyps[0].Tokens) == 0 || len(hyps[0].Tokens) > 12 {
+		t.Fatalf("tokens: %v", hyps[0].Tokens)
+	}
+	// Deterministic.
+	again, err := tr.Translate([]int{5, 8, 13, 21, 34}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Score != hyps[0].Score {
+		t.Fatal("translation not deterministic")
+	}
+}
+
+func TestTranslateDifferentSourcesDiffer(t *testing.T) {
+	tr := tinyTranslator(t)
+	a, err := tr.Translate([]int{5, 6, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Translate([]int{200, 201, 202, 203, 204, 205}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Score == b[0].Score {
+		t.Fatal("different sources should score differently")
+	}
+}
+
+func TestTranslatorValidation(t *testing.T) {
+	encCfg := BertBase().Scaled(32, 4, 64, 1)
+	decCfg := Seq2SeqDecoder().Scaled(64, 4, 128, 1) // hidden mismatch
+	if _, err := NewTranslator(encCfg, decCfg, 1, allocator.NewTurbo(allocator.NewDevice())); err == nil {
+		t.Fatal("hidden mismatch should fail")
+	}
+	tr := tinyTranslator(t)
+	if _, err := tr.Translate(nil, 8); err == nil {
+		t.Fatal("empty source should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/model"
+)
+
+// DecoderLatency prices a full beam-search translation of a srcLen-token
+// source sentence with the Seq2Seq decoder (Fig. 9 bottom): tgtLen decode
+// steps (≈1:1 with the source for the zh→en workload), each running every
+// decoder layer incrementally over the KV cache, plus the per-step vocab
+// projection and the one-time cross-attention K/V precomputation.
+func (e *Estimator) DecoderLatency(p Profile, cfg model.Config, srcLen int) time.Duration {
+	if !cfg.IsDecoder {
+		panic("perf: DecoderLatency needs a decoder config")
+	}
+	tgtLen := srcLen // zh→en length ratio ≈ 1
+	if tgtLen > cfg.MaxTargetLen {
+		tgtLen = cfg.MaxTargetLen
+	}
+	beams := cfg.BeamSize
+	h, heads, hd, inter := cfg.Hidden, cfg.Heads, cfg.HeadDim(), cfg.Inter
+
+	var total time.Duration
+
+	// Cross-attention K/V projections of the encoder memory: one pair of
+	// [srcLen,H]·[H,H] GEMMs per layer, once per sentence.
+	total += time.Duration(cfg.Layers) * 2 * e.GemmTime(p, 1, srcLen, h, h)
+
+	// Per-step, per-layer cost. The softmax over the growing cache changes
+	// shape every step, so the steps are priced individually.
+	for t := 1; t <= tgtLen; t++ {
+		var step time.Duration
+
+		perLayer := func() time.Duration {
+			var d time.Duration
+			// Self-attention projections.
+			if p.Fused {
+				d += e.GemmTime(p, 1, beams, 3*h, h) // fused QKV
+				d += e.ElementwiseTime(p, 2*4*int64(beams*3*h))
+			} else {
+				d += 3 * e.GemmTime(p, 1, beams, h, h)
+				d += 3 * e.ElementwiseTime(p, 2*4*int64(beams*h)) // biases
+			}
+			// Attention over the cache: scores [beams·heads, 1, t].
+			d += e.GemmTime(p, beams*heads, 1, t, hd)
+			d += e.SoftmaxTime(p, beams*heads, t)
+			d += e.GemmTime(p, beams*heads, 1, hd, t)
+			d += e.GemmTime(p, 1, beams, h, h) // output projection
+			d += e.LayerNormTime(p, beams, h)
+
+			// Cross-attention (K/V precomputed).
+			d += e.GemmTime(p, 1, beams, h, h) // Q projection
+			d += e.GemmTime(p, beams*heads, 1, srcLen, hd)
+			d += e.SoftmaxTime(p, beams*heads, srcLen)
+			d += e.GemmTime(p, beams*heads, 1, hd, srcLen)
+			d += e.GemmTime(p, 1, beams, h, h)
+			d += e.LayerNormTime(p, beams, h)
+
+			// Feed-forward network.
+			d += e.GemmTime(p, 1, beams, inter, h)
+			d += e.ElementwiseTime(p, 2*4*int64(beams*inter)) // bias+act
+			d += e.GemmTime(p, 1, beams, h, inter)
+			d += e.LayerNormTime(p, beams, h)
+
+			if !p.Fused {
+				// Unfused runtimes pay separate residual-add kernels.
+				d += 3 * e.ElementwiseTime(p, 3*4*int64(beams*h))
+			}
+			return d
+		}()
+		step += time.Duration(cfg.Layers) * perLayer
+
+		// Vocabulary projection + beam top-k.
+		step += e.GemmTime(p, 1, beams, cfg.Vocab, h)
+		step += e.ElementwiseTime(p, 4*int64(beams*cfg.Vocab))
+
+		total += step
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package perf
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/reduction"
+)
+
+// Estimator prices operators on a GPU. It memoises the cycle-level
+// reduction-kernel simulations (they are deterministic in shape) and the
+// per-geometry graphs.
+type Estimator struct {
+	GPU GPU
+	dev *cudasim.Device
+
+	mu       sync.Mutex
+	redCache map[redKey]time.Duration
+}
+
+type redKey struct {
+	softmax    bool
+	impl       int
+	rows, cols int
+}
+
+// NewEstimator returns an estimator for the given GPU.
+func NewEstimator(gpu GPU) *Estimator {
+	return &Estimator{
+		GPU:      gpu,
+		dev:      cudasim.NewDevice(gpu.Sim),
+		redCache: make(map[redKey]time.Duration),
+	}
+}
+
+// GEMM tile sizes for the quantisation model: work is dispatched in
+// tileM×tileN×tileK blocks, so small or ragged dims waste lanes — the
+// effect that makes batching profitable (Fig. 7).
+const (
+	tileM = 64
+	tileN = 64
+	tileK = 32
+)
+
+func roundUp(v, to int) int { return (v + to - 1) / to * to }
+
+// padDim models cuBLAS's tactic selection: very skinny dims dispatch to
+// smaller-tile (gemv-class) kernels, so padding tops out near the dim
+// itself instead of always charging a full 64-wide tile.
+func padDim(v, tile int) int {
+	switch {
+	case v >= tile:
+		return roundUp(v, tile)
+	case v > tile/2:
+		return tile
+	case v > tile/4:
+		return tile / 2
+	case v > tile/8:
+		return tile / 4
+	default:
+		return tile / 8
+	}
+}
+
+// GemmTime prices batchCount independent m×n×k GEMMs: padded-tile FLOPs
+// against the profile's effective peak scaled by grid occupancy, floored by
+// memory traffic, plus one kernel launch.
+//
+// Occupancy is the effect that makes request batching profitable (Fig. 7):
+// a batch-1 short-sequence GEMM launches too few tiles to fill the SMs, so
+// its effective throughput collapses; batching multiplies the tile count.
+func (e *Estimator) GemmTime(p Profile, batchCount, m, n, k int) time.Duration {
+	if batchCount <= 0 || m <= 0 || n <= 0 || k <= 0 {
+		return p.LaunchOverhead
+	}
+	peak := e.GPU.PeakFP32
+	bytesPerElem := 4.0
+	if p.TensorCore {
+		peak = e.GPU.PeakTensorCore
+		bytesPerElem = 2.0
+	}
+	mPad, nPad, kPad := padDim(m, tileM), padDim(n, tileN), padDim(k, tileK)
+
+	// Grid occupancy: output tiles available vs. what saturates the SMs.
+	tiles := batchCount * ((mPad + tileM - 1) / tileM) * ((nPad + tileN - 1) / tileN)
+	saturation := 3 * e.GPU.Sim.NumSMs
+	occ := float64(tiles) / float64(saturation)
+	if occ > 1 {
+		occ = 1
+	}
+	eff := p.GemmEff * math.Pow(occ, 0.55)
+	const minEff = 0.02
+	if eff < minEff {
+		eff = minEff
+	}
+
+	flops := 2 * float64(batchCount) * float64(mPad) * float64(nPad) * float64(kPad)
+	flopTime := flops / (peak * eff)
+	bytes := float64(batchCount) * float64(m*k+k*n+m*n) * bytesPerElem
+	memTime := bytes / e.GPU.MemBandwidth
+	t := flopTime
+	if memTime > t {
+		t = memTime
+	}
+	return p.LaunchOverhead + seconds(t)
+}
+
+// SoftmaxTime prices a rows×cols batched softmax using the profile's
+// simulated kernel algorithm and framework penalty.
+func (e *Estimator) SoftmaxTime(p Profile, rows, cols int) time.Duration {
+	if rows <= 0 || cols <= 0 {
+		return p.LaunchOverhead
+	}
+	key := redKey{softmax: true, impl: int(p.SoftmaxImpl), rows: rows, cols: cols}
+	body := e.cachedReduction(key, func() time.Duration {
+		res := reduction.TimeSoftmax(e.dev, p.SoftmaxImpl, rows, cols)
+		return e.bodyTime(res)
+	})
+	return p.LaunchOverhead + time.Duration(float64(body)*p.SoftmaxPenalty)
+}
+
+// LayerNormTime prices a rows×cols LayerNorm similarly.
+func (e *Estimator) LayerNormTime(p Profile, rows, cols int) time.Duration {
+	if rows <= 0 || cols <= 0 {
+		return p.LaunchOverhead
+	}
+	key := redKey{softmax: false, impl: int(p.LayerNormImpl), rows: rows, cols: cols}
+	body := e.cachedReduction(key, func() time.Duration {
+		res := reduction.TimeLayerNorm(e.dev, p.LayerNormImpl, rows, cols)
+		return e.bodyTime(res)
+	})
+	return p.LaunchOverhead + time.Duration(float64(body)*p.LayerNormPenalty)
+}
+
+// bodyTime extracts the kernel body (compute/memory bound, excluding the
+// simulated launch overhead, which the profile's LaunchOverhead replaces).
+func (e *Estimator) bodyTime(res cudasim.Result) time.Duration {
+	body := res.ComputeCycles
+	if res.MemoryCycles > body {
+		body = res.MemoryCycles
+	}
+	return seconds(e.GPU.Sim.CyclesToSeconds(body))
+}
+
+func (e *Estimator) cachedReduction(key redKey, compute func() time.Duration) time.Duration {
+	e.mu.Lock()
+	if d, ok := e.redCache[key]; ok {
+		e.mu.Unlock()
+		return d
+	}
+	e.mu.Unlock()
+	d := compute()
+	e.mu.Lock()
+	e.redCache[key] = d
+	e.mu.Unlock()
+	return d
+}
+
+// ElementwiseTime prices a bandwidth-bound element-wise kernel moving the
+// given bytes.
+func (e *Estimator) ElementwiseTime(p Profile, bytes int64) time.Duration {
+	if bytes <= 0 {
+		return p.LaunchOverhead
+	}
+	return p.LaunchOverhead + seconds(float64(bytes)/(e.GPU.MemBandwidth*p.ElementwiseEff))
+}

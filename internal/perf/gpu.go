@@ -1,0 +1,71 @@
+// Package perf is the analytic GPU latency model behind the end-to-end
+// experiments (Figs. 7, 9, 10, 14; Tables 2, 4, 5 via the scheduler's cost
+// dictionary). It prices each operator of a model's computation graph:
+//
+//   - GEMMs with a tile-quantisation roofline (padded-tile FLOPs against a
+//     profile-specific fraction of peak, floored by DRAM bandwidth),
+//   - batch reductions (Softmax/LayerNorm) with cycle counts taken from the
+//     cudasim warp-level simulation of the actual kernel algorithms,
+//   - element-wise kernels as bandwidth-bound streams,
+//   - a per-kernel launch overhead, which is what fusion saves.
+//
+// Runtime baselines (PyTorch, onnxruntime, TF-XLA, FasterTransformer,
+// TensorRT) are profiles over this one model: the paper credits their
+// differences to exactly these axes (Table 1), so encoding them as profile
+// parameters isolates what the paper varies.
+package perf
+
+import (
+	"time"
+
+	"repro/internal/cudasim"
+)
+
+// GPU combines the cycle-level device model with the headline rates the
+// analytic roofline needs.
+type GPU struct {
+	Sim cudasim.Config
+	// PeakFP32 is the FP32 FLOP/s of the CUDA cores.
+	PeakFP32 float64
+	// PeakTensorCore is the effective FLOP/s of FP16 Tensor-Core GEMM
+	// (end-to-end achievable, not the marketing peak).
+	PeakTensorCore float64
+	// MemBandwidth is DRAM bandwidth in bytes/s.
+	MemBandwidth float64
+}
+
+// RTX2060 is the end-to-end evaluation GPU (§6): 1920 CUDA cores @ 1.68 GHz,
+// 336 GB/s GDDR6, FP16 Tensor Cores.
+func RTX2060() GPU {
+	return GPU{
+		Sim:            cudasim.RTX2060(),
+		PeakFP32:       6.45e12,
+		PeakTensorCore: 25.8e12,
+		MemBandwidth:   336e9,
+	}
+}
+
+// TeslaV100 is the kernel-study GPU (Fig. 5): 80 SMs, 900 GB/s HBM2.
+func TeslaV100() GPU {
+	return GPU{
+		Sim:            cudasim.TeslaV100(),
+		PeakFP32:       14e12,
+		PeakTensorCore: 56e12,
+		MemBandwidth:   900e9,
+	}
+}
+
+// TeslaM40 is referenced by the allocation-stall measurement in §4.2.
+func TeslaM40() GPU {
+	return GPU{
+		Sim:            cudasim.TeslaV100(), // Maxwell sim params unimportant here
+		PeakFP32:       6.8e12,
+		PeakTensorCore: 0,
+		MemBandwidth:   288e9,
+	}
+}
+
+// seconds converts a float duration safely into time.Duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,149 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// OpTime is one operator's share of a layer's latency (Fig. 10 rows).
+type OpTime struct {
+	Name string
+	Kind graph.OpKind
+	Time time.Duration
+}
+
+// graphCache shares built layer graphs across estimators (they are
+// immutable and only depend on geometry).
+var graphCache sync.Map // layerKey → *graph.Graph
+
+type layerKey struct {
+	hidden, heads, inter int
+	act                  int
+	fused                bool
+}
+
+func layerGraph(cfg model.Config, fused bool) *graph.Graph {
+	key := layerKey{cfg.Hidden, cfg.Heads, cfg.Inter, int(cfg.Act), fused}
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	var g *graph.Graph
+	if fused {
+		g = graph.NewEncoderLayerFused(cfg.LayerConfig())
+	} else {
+		g = graph.NewEncoderLayerUnfused(cfg.LayerConfig())
+	}
+	graphCache.Store(key, g)
+	return g
+}
+
+// EncoderLayerBreakdown prices every operator of one encoder layer for the
+// profile's graph variant at (batch, seq).
+func (e *Estimator) EncoderLayerBreakdown(p Profile, cfg model.Config, batch, seq int) []OpTime {
+	g := layerGraph(cfg, p.Fused)
+	heads, hd := cfg.Heads, cfg.HeadDim()
+	elems := func(id int) int64 { return g.Tensors[id].Elems.Eval(batch, seq) }
+
+	var out []OpTime
+	for _, op := range g.Ops {
+		var d time.Duration
+		switch op.Kind {
+		case graph.OpGemm, graph.OpFusedGemmQKV:
+			m := int(elems(op.Inputs[0])) / op.Attr.K
+			d = e.GemmTime(p, 1, m, op.Attr.N, op.Attr.K)
+		case graph.OpBatchedGemmQK:
+			d = e.GemmTime(p, batch*heads, seq, seq, hd)
+		case graph.OpBatchedGemmPV:
+			d = e.GemmTime(p, batch*heads, seq, hd, seq)
+		case graph.OpSoftmax:
+			d = e.SoftmaxTime(p, batch*heads*seq, seq)
+		case graph.OpLayerNorm:
+			d = e.LayerNormTime(p, batch*seq, cfg.Hidden)
+		case graph.OpAddBiasLayerNorm:
+			// The fused kernel's residual read adds one extra pass over the
+			// hidden tensor relative to plain LayerNorm.
+			d = e.LayerNormTime(p, batch*seq, cfg.Hidden) +
+				seconds(float64(elems(op.Outputs[0])*4)/(e.GPU.MemBandwidth*p.ElementwiseEff))
+		case graph.OpAddBias, graph.OpActivation, graph.OpAddBiasAct,
+			graph.OpTransposeForScore, graph.OpTransposeBack:
+			d = e.ElementwiseTime(p, 2*4*elems(op.Outputs[0]))
+		case graph.OpResidualAdd:
+			d = e.ElementwiseTime(p, 3*4*elems(op.Outputs[0]))
+		case graph.OpSplitAddBiasTranspose:
+			d = e.ElementwiseTime(p, 2*4*elems(op.Inputs[0]))
+		default:
+			panic(fmt.Sprintf("perf: unpriced op kind %v", op.Kind))
+		}
+		out = append(out, OpTime{Name: op.Name, Kind: op.Kind, Time: d})
+	}
+	return out
+}
+
+// EncoderLatency prices a full encoder-stack inference at (batch, seq).
+func (e *Estimator) EncoderLatency(p Profile, cfg model.Config, batch, seq int) time.Duration {
+	var layer time.Duration
+	for _, ot := range e.EncoderLayerBreakdown(p, cfg, batch, seq) {
+		layer += ot.Time
+	}
+	return time.Duration(int64(layer) * int64(cfg.Layers))
+}
+
+// Table2Proportions reproduces Table 2's measurement: the share of
+// attention-layer time taken by Softmax and LayerNorm, "before" (PyTorch's
+// kernel implementations dropped into the Turbo runtime) and "after"
+// (Turbo's kernels).
+func (e *Estimator) Table2Proportions(cfg model.Config, batch, seq int) (softmaxBefore, softmaxAfter, layernormBefore, layernormAfter float64) {
+	turbo := Turbo()
+	py := PyTorchLegacyKernels()
+
+	breakdown := e.EncoderLayerBreakdown(turbo, cfg, batch, seq)
+	var attnRest, sfAfter, lnAfter time.Duration
+	for _, ot := range breakdown {
+		if ot.Name == "gemm6" { // FFN starts: attention section over
+			break
+		}
+		switch ot.Kind {
+		case graph.OpSoftmax:
+			sfAfter += ot.Time
+		case graph.OpAddBiasLayerNorm, graph.OpLayerNorm:
+			lnAfter += ot.Time
+		default:
+			attnRest += ot.Time
+		}
+	}
+	sfBefore := e.SoftmaxTime(py, batch*cfg.Heads*seq, seq)
+	lnBefore := e.LayerNormTime(py, batch*seq, cfg.Hidden)
+
+	softmaxAfter = ratio(sfAfter, attnRest+sfAfter+lnAfter)
+	layernormAfter = ratio(lnAfter, attnRest+sfAfter+lnAfter)
+	softmaxBefore = ratio(sfBefore, attnRest+sfBefore+lnAfter)
+	layernormBefore = ratio(lnBefore, attnRest+sfAfter+lnBefore)
+	return
+}
+
+func ratio(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// BatchingNormalizedLatency reproduces Fig. 7's measurement: latency of a
+// batch of b identical requests divided by b times the single-request
+// latency. Values below 1 mean batching pays.
+func (e *Estimator) BatchingNormalizedLatency(p Profile, cfg model.Config, seq, batchSize int) float64 {
+	single := e.EncoderLatency(p, cfg, 1, seq)
+	batched := e.EncoderLatency(p, cfg, batchSize, seq)
+	return float64(batched) / (float64(batchSize) * float64(single))
+}
+
+// BatchCost is the scheduler-facing cost function: latency of one batch of
+// batchSize requests padded to seq. This is what the warm-up phase records
+// into Algorithm 2's cached_cost dictionary.
+func (e *Estimator) BatchCost(p Profile, cfg model.Config, seq, batchSize int) time.Duration {
+	return e.EncoderLatency(p, cfg, batchSize, seq)
+}

@@ -1,0 +1,109 @@
+// Package reduction implements the GPU batch-reduction kernels studied in
+// §4.1.2 of the paper as programs for the cudasim device model:
+//
+//   - the classical FasterTransformer-derived baseline: per-row two-pass
+//     blockReduce built on __shfl_down + shared memory + two barriers,
+//   - TurboTransformers' warpAllReduceSum_XElem family: X independent
+//     reductions batched per warp with interleaved shuffle chains, butterfly
+//     (all-reduce) exchanges that need no broadcast, merged boundary
+//     handling, and one barrier amortised over X rows,
+//   - a cuDNN-style generic softmax baseline (block-per-row shared-memory
+//     tree),
+//
+// plus LayerNorm variants using either the two-pass E(x−E(x))² formula or
+// the paper's fused single-pass E(x²)−E²(x) trick (Eq. 1).
+//
+// Every program computes real FP32 values, so outputs are checked against
+// the CPU kernels; cycle counts come from the cudasim scoreboard model.
+package reduction
+
+import "repro/internal/cudasim"
+
+// Register allocation shared by the kernel programs. X-element variants use
+// regSeg0+x / regAcc0+x / regTmp0+x for x < MaxX.
+const (
+	regSeg0 cudasim.Reg = iota // loaded segments (X regs)
+	regSeg1
+	regSeg2
+	regSeg3
+	regAcc0 // accumulators (X regs)
+	regAcc1
+	regAcc2
+	regAcc3
+	regTmp0 // shuffle temporaries (X regs)
+	regTmp1
+	regTmp2
+	regTmp3
+	regAux0 // broadcast values, reciprocals, partials
+	regAux1
+	regAux2
+	regAux3
+)
+
+// MaxX is the largest row-batch the XElem kernels use. The paper's figure
+// shows X=2; the released TurboTransformers code uses up to 4. We default to
+// 4 for softmax rows and 2 for LayerNorm's (x, x²) moment pair.
+const MaxX = 4
+
+const negInf = float32(-3.4e38) // ~ -FLT_MAX: safe reduction identity for max
+
+// binOp selects the combining operation of a reduction.
+type binOp int
+
+const (
+	opSum binOp = iota
+	opMax
+)
+
+func applyOp(w *cudasim.Warp, op binOp, dst, a, b cudasim.Reg) {
+	if op == opSum {
+		w.Add(dst, a, b)
+	} else {
+		w.Max(dst, a, b)
+	}
+}
+
+// warpReduce is the classical down-shuffle reduction (Fig. 4 top): after
+// log2(32) rounds lane 0 holds the result. Each SHFL.DOWN's target register
+// is immediately a source of the following FADD, so the scoreboard stalls
+// the warp for the shuffle latency every round — precisely the
+// instruction-issue inefficiency the paper calls out.
+func warpReduce(w *cudasim.Warp, op binOp, acc, tmp cudasim.Reg) {
+	for delta := 16; delta >= 1; delta >>= 1 {
+		w.ShflDown(tmp, acc, delta)
+		applyOp(w, op, acc, acc, tmp)
+	}
+}
+
+// warpAllReduce is the butterfly (XOR) variant: after log2(32) rounds every
+// lane holds the result, so no separate broadcast is needed.
+func warpAllReduce(w *cudasim.Warp, op binOp, acc, tmp cudasim.Reg) {
+	for mask := 16; mask >= 1; mask >>= 1 {
+		w.ShflXor(tmp, acc, mask)
+		applyOp(w, op, acc, acc, tmp)
+	}
+}
+
+// warpAllReduceX is warpAllReduceSum_XElem (Fig. 4 bottom): X independent
+// butterfly reductions with their shuffle chains interleaved. Issuing the X
+// shuffles back-to-back lets each round's adds overlap the shuffle latency
+// of the other chains, eliminating the dependency stall.
+func warpAllReduceX(w *cudasim.Warp, op binOp, accs, tmps []cudasim.Reg) {
+	for mask := 16; mask >= 1; mask >>= 1 {
+		for x := range accs {
+			w.ShflXor(tmps[x], accs[x], mask)
+		}
+		for x := range accs {
+			applyOp(w, op, accs[x], accs[x], tmps[x])
+		}
+	}
+}
+
+// warpAllReduceXSequential is the ablation of warpAllReduceX with the
+// interleaving removed: the X chains run one after another, so each keeps
+// its dependency stalls. Used to isolate the ILP contribution in Fig. 5.
+func warpAllReduceXSequential(w *cudasim.Warp, op binOp, accs, tmps []cudasim.Reg) {
+	for x := range accs {
+		warpAllReduce(w, op, accs[x], tmps[x])
+	}
+}

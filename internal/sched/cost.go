@@ -1,0 +1,109 @@
+// Package sched implements the serving framework's batch schedulers (§5):
+// the paper's sequence-length-aware dynamic-programming scheduler
+// (Algorithm 2), the naive pack-everything scheduler, and the no-batching
+// baseline, plus the cached_cost dictionary they consult — built by a
+// warm-up sweep and interpolated for unsampled lengths, exactly as §6.3
+// describes.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CostModel prices executing one batch of batchSize requests padded to
+// seqLen. Algorithm 2 minimises the sum of these over a partition.
+type CostModel interface {
+	BatchCost(seqLen, batchSize int) time.Duration
+}
+
+// CostFunc adapts a plain function to CostModel.
+type CostFunc func(seqLen, batchSize int) time.Duration
+
+// BatchCost implements CostModel.
+func (f CostFunc) BatchCost(seqLen, batchSize int) time.Duration { return f(seqLen, batchSize) }
+
+// CachedCost is the cached_cost dictionary of Algorithm 2: per-(length,
+// batch-size) inference costs collected by a warm-up phase. Lengths may be
+// sampled sparsely ("if the parameter space is large, we sample ... and use
+// the interpolation method", §6.3); lookups interpolate linearly between
+// sampled lengths.
+type CachedCost struct {
+	lens     []int // sorted sampled lengths
+	maxBatch int
+	// table[b-1][li] = cost of batch size b at sampled length lens[li].
+	table [][]time.Duration
+}
+
+// BuildCachedCost runs the warm-up sweep: price(seqLen, batch) is evaluated
+// for every batch size 1..maxBatch at lengths 1, 1+stride, ... up to
+// maxLen (maxLen always included).
+func BuildCachedCost(price func(seqLen, batchSize int) time.Duration, maxLen, maxBatch, lenStride int) *CachedCost {
+	if maxLen < 1 || maxBatch < 1 {
+		panic(fmt.Sprintf("sched: invalid cached-cost bounds maxLen=%d maxBatch=%d", maxLen, maxBatch))
+	}
+	if lenStride < 1 {
+		lenStride = 1
+	}
+	var lens []int
+	for l := 1; l <= maxLen; l += lenStride {
+		lens = append(lens, l)
+	}
+	if lens[len(lens)-1] != maxLen {
+		lens = append(lens, maxLen)
+	}
+	c := &CachedCost{lens: lens, maxBatch: maxBatch}
+	c.table = make([][]time.Duration, maxBatch)
+	for b := 1; b <= maxBatch; b++ {
+		row := make([]time.Duration, len(lens))
+		for li, l := range lens {
+			row[li] = price(l, b)
+		}
+		c.table[b-1] = row
+	}
+	return c
+}
+
+// MaxBatch returns the largest batch size the dictionary covers.
+func (c *CachedCost) MaxBatch() int { return c.maxBatch }
+
+// BatchCost implements CostModel with linear interpolation between sampled
+// lengths. Lengths beyond the sampled maximum extrapolate from the last
+// segment; batch sizes beyond maxBatch scale the maxBatch entry linearly.
+func (c *CachedCost) BatchCost(seqLen, batchSize int) time.Duration {
+	if seqLen < 1 {
+		seqLen = 1
+	}
+	scale := 1.0
+	if batchSize > c.maxBatch {
+		scale = float64(batchSize) / float64(c.maxBatch)
+		batchSize = c.maxBatch
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	row := c.table[batchSize-1]
+	i := sort.SearchInts(c.lens, seqLen)
+	var base float64
+	switch {
+	case i < len(c.lens) && c.lens[i] == seqLen:
+		base = float64(row[i])
+	case i == 0:
+		base = float64(row[0])
+	case i >= len(c.lens):
+		// Extrapolate from the final segment's slope.
+		n := len(c.lens)
+		if n == 1 {
+			base = float64(row[0])
+			break
+		}
+		slope := float64(row[n-1]-row[n-2]) / float64(c.lens[n-1]-c.lens[n-2])
+		base = float64(row[n-1]) + slope*float64(seqLen-c.lens[n-1])
+	default:
+		lo, hi := c.lens[i-1], c.lens[i]
+		frac := float64(seqLen-lo) / float64(hi-lo)
+		base = float64(row[i-1]) + frac*float64(row[i]-row[i-1])
+	}
+	return time.Duration(base * scale)
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func samplePrice(l, b int) time.Duration {
+	return time.Duration(l*100+b*250) * time.Microsecond
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := BuildCachedCost(samplePrice, 200, 8, 20)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCachedCost(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{1, 57, 143, 200, 300} {
+		for b := 1; b <= 10; b++ {
+			if got, want := loaded.BatchCost(l, b), c.BatchCost(l, b); got != want {
+				t.Fatalf("(%d,%d): %v vs %v", l, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := BuildCachedCost(samplePrice, 50, 4, 10)
+	path := filepath.Join(t.TempDir(), "cost.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCachedCostFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.BatchCost(25, 2) != c.BatchCost(25, 2) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"lens":[1,5],"max_batch":2,"table_ns":[[1,2]]}`,  // wrong row count
+		`{"lens":[5,1],"max_batch":1,"table_ns":[[1,2]]}`,  // non-increasing lens
+		`{"lens":[1,5],"max_batch":1,"table_ns":[[1]]}`,    // short row
+		`{"lens":[1,5],"max_batch":1,"table_ns":[[-1,2]]}`, // negative cost
+	}
+	for i, s := range cases {
+		if _, err := LoadCachedCost(strings.NewReader(s)); err == nil {
+			t.Fatalf("case %d should fail: %q", i, s)
+		}
+	}
+}
+
+func TestObserveMovesTowardMeasurement(t *testing.T) {
+	c := BuildCachedCost(samplePrice, 100, 4, 10)
+	before := c.BatchCost(51, 2)
+	// Feed observations 2x the model at a sampled length.
+	target := 2 * before
+	for i := 0; i < 40; i++ {
+		c.Observe(51, 2, target)
+	}
+	after := c.BatchCost(51, 2)
+	if after <= before {
+		t.Fatalf("Observe should raise the estimate: %v -> %v", before, after)
+	}
+	// Converges close to the scaled observation.
+	if float64(after) < 1.7*float64(before) {
+		t.Fatalf("EMA should approach the measurement: %v vs target %v", after, target)
+	}
+}
+
+func TestObserveScalesOversizedBatch(t *testing.T) {
+	c := BuildCachedCost(samplePrice, 100, 2, 10)
+	before := c.BatchCost(41, 2)
+	// batch 8 observation folds into the maxBatch row, scaled by 2/8.
+	c.Observe(41, 8, 8*before)
+	after := c.BatchCost(41, 2)
+	if after <= before {
+		t.Fatal("scaled oversized observation should still update")
+	}
+}
+
+func TestObserveIgnoresGarbage(t *testing.T) {
+	c := BuildCachedCost(samplePrice, 100, 2, 10)
+	before := c.BatchCost(50, 1)
+	c.Observe(50, 1, 0)
+	c.Observe(0, 1, time.Second)
+	if c.BatchCost(50, 1) != before {
+		t.Fatal("garbage observations must not change the table")
+	}
+}
+
+func TestNearestLenIndex(t *testing.T) {
+	lens := []int{1, 11, 21, 31}
+	cases := map[int]int{1: 0, 5: 0, 7: 1, 11: 1, 27: 3, 100: 3}
+	for seq, want := range cases {
+		if got := nearestLenIndex(lens, seq); got != want {
+			t.Fatalf("nearest(%d) = %d, want %d", seq, got, want)
+		}
+	}
+}

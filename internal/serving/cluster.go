@@ -1,0 +1,207 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// BalancePolicy selects how the upper-level load balancer (§5: "an upper-
+// level load balancer as the one in Nexus") spreads requests over servers.
+type BalancePolicy int
+
+const (
+	// RoundRobin cycles through servers regardless of load.
+	RoundRobin BalancePolicy = iota
+	// LeastQueue sends each request to the server with the shortest queue.
+	LeastQueue
+)
+
+// String returns the policy name.
+func (p BalancePolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastQueue:
+		return "least-queue"
+	}
+	return fmt.Sprintf("BalancePolicy(%d)", int(p))
+}
+
+// ClusterConfig configures a multi-server serving simulation. Each server
+// runs its own scheduler + GPU model; one balancer feeds them all.
+type ClusterConfig struct {
+	Servers int
+	Policy  BalancePolicy
+
+	Rate             float64
+	Warmup, Duration float64
+	Seed             int64
+	LenLo, LenHi     int
+
+	// NewScheduler builds one scheduler per server (schedulers may be
+	// stateful, so they must not be shared).
+	NewScheduler func() sched.Scheduler
+	Cost         sched.CostModel
+	MaxBatch     int
+}
+
+// ClusterResult reports one cluster run.
+type ClusterResult struct {
+	OfferedRate  float64
+	Served       int64
+	ServedPerSec float64
+	LatencyAvg   float64
+	LatencyMax   float64
+	// PerServerServed shows balance quality.
+	PerServerServed []int64
+	Saturated       bool
+}
+
+// clusterServer is one simulated GPU + queue, the per-server core of the
+// single-server simulation reused M times on one clock.
+type clusterServer struct {
+	sim      *simclock.Sim
+	sched    sched.Scheduler
+	cost     sched.CostModel
+	maxBatch int
+
+	mq   []*sched.Request
+	busy bool
+
+	measureLo, measureHi float64
+	stats                *simclock.LatencyStats
+	served               int64
+}
+
+func (s *clusterServer) enqueue(r *sched.Request) {
+	s.mq = append(s.mq, r)
+	s.dispatch()
+}
+
+func (s *clusterServer) dispatch() {
+	if s.busy || len(s.mq) == 0 {
+		return
+	}
+	window := 16 * s.maxBatch
+	view := s.mq
+	if len(view) > window {
+		view = view[:window]
+	}
+	batches := s.sched.Schedule(snapshot(view))
+	if len(batches) == 0 {
+		return
+	}
+	b := batches[0]
+	inBatch := make(map[int64]bool, b.Size())
+	for _, r := range b.Requests {
+		inBatch[r.ID] = true
+	}
+	kept := s.mq[:0]
+	for _, r := range s.mq[:len(view)] {
+		if !inBatch[r.ID] {
+			kept = append(kept, r)
+		}
+	}
+	kept = append(kept, s.mq[len(view):]...)
+	s.mq = kept
+
+	s.busy = true
+	dur := float64(s.cost.BatchCost(b.PaddedLen, b.Size())) / 1e9
+	reqs := b.Requests
+	s.sim.After(dur, func() {
+		for _, r := range reqs {
+			if now := s.sim.Now(); now >= s.measureLo && now <= s.measureHi {
+				s.stats.Add(now - r.Arrival)
+				s.served++
+			}
+		}
+		s.busy = false
+		s.dispatch()
+	})
+}
+
+// RunClusterSim replays Poisson arrivals through a load balancer over
+// Servers identical serving instances.
+func RunClusterSim(cfg ClusterConfig) ClusterResult {
+	if cfg.Servers < 1 {
+		cfg.Servers = 1
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	sim := simclock.New()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	stats := simclock.NewLatencyStats()
+	measureLo, measureHi := cfg.Warmup, cfg.Warmup+cfg.Duration
+
+	servers := make([]*clusterServer, cfg.Servers)
+	for i := range servers {
+		servers[i] = &clusterServer{
+			sim:       sim,
+			sched:     cfg.NewScheduler(),
+			cost:      cfg.Cost,
+			maxBatch:  cfg.MaxBatch,
+			measureLo: measureLo,
+			measureHi: measureHi,
+			stats:     stats,
+		}
+	}
+
+	next := 0
+	pick := func() *clusterServer {
+		switch cfg.Policy {
+		case LeastQueue:
+			best := servers[0]
+			for _, s := range servers[1:] {
+				if len(s.mq) < len(best.mq) {
+					best = s
+				}
+			}
+			return best
+		default:
+			s := servers[next%len(servers)]
+			next++
+			return s
+		}
+	}
+
+	var nextID int64
+	sim.PoissonArrivals(cfg.Rate, cfg.Seed, measureHi, func(i int64) {
+		nextID++
+		length := cfg.LenLo
+		if cfg.LenHi > cfg.LenLo {
+			length += rng.Intn(cfg.LenHi - cfg.LenLo + 1)
+		}
+		pick().enqueue(&sched.Request{ID: nextID, Length: length, Arrival: sim.Now()})
+	})
+	sim.Run(measureHi)
+
+	res := ClusterResult{
+		OfferedRate:     cfg.Rate,
+		PerServerServed: make([]int64, cfg.Servers),
+	}
+	backlog := 0
+	for i, s := range servers {
+		res.Served += s.served
+		res.PerServerServed[i] = s.served
+		backlog += len(s.mq)
+	}
+	res.ServedPerSec = float64(res.Served) / cfg.Duration
+	res.LatencyAvg = stats.Avg()
+	res.LatencyMax = stats.Max
+	if stats.Count == 0 {
+		res.LatencyAvg, res.LatencyMax = math.NaN(), math.NaN()
+	}
+	backlogLimit := cfg.Rate * 1.0
+	if backlogLimit < 20 {
+		backlogLimit = 20
+	}
+	if float64(backlog) > backlogLimit && res.ServedPerSec < 0.95*cfg.Rate {
+		res.Saturated = true
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package serving
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func clusterCfg(servers int, rate float64, policy BalancePolicy) ClusterConfig {
+	cost := sched.CostFunc(simCost)
+	return ClusterConfig{
+		Servers:  servers,
+		Policy:   policy,
+		Rate:     rate,
+		Warmup:   2,
+		Duration: 8,
+		Seed:     77,
+		LenLo:    2,
+		LenHi:    100,
+		NewScheduler: func() sched.Scheduler {
+			return &sched.DPScheduler{Cost: cost, MaxBatch: 20}
+		},
+		Cost:     cost,
+		MaxBatch: 20,
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	a := RunClusterSim(clusterCfg(2, 200, LeastQueue))
+	b := RunClusterSim(clusterCfg(2, 200, LeastQueue))
+	if a.Served != b.Served || a.LatencyAvg != b.LatencyAvg {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestClusterSingleServerMatchesScale(t *testing.T) {
+	// One server must behave like the single-server sim family: low load
+	// served fully.
+	res := RunClusterSim(clusterCfg(1, 50, RoundRobin))
+	if res.Saturated || res.ServedPerSec < 40 {
+		t.Fatalf("single server low load: %+v", res)
+	}
+}
+
+// The load balancer's purpose (§5): capacity scales with server count.
+func TestClusterThroughputScales(t *testing.T) {
+	overload := 8000.0
+	cap1 := RunClusterSim(clusterCfg(1, overload, LeastQueue)).ServedPerSec
+	cap2 := RunClusterSim(clusterCfg(2, overload, LeastQueue)).ServedPerSec
+	cap4 := RunClusterSim(clusterCfg(4, overload, LeastQueue)).ServedPerSec
+	if cap2 < 1.7*cap1 {
+		t.Fatalf("2 servers should ~double capacity: %v vs %v", cap2, cap1)
+	}
+	if cap4 < 1.7*cap2 {
+		t.Fatalf("4 servers should ~double again: %v vs %v", cap4, cap2)
+	}
+}
+
+func TestClusterBalancePolicies(t *testing.T) {
+	rr := RunClusterSim(clusterCfg(4, 600, RoundRobin))
+	lq := RunClusterSim(clusterCfg(4, 600, LeastQueue))
+	for _, res := range []ClusterResult{rr, lq} {
+		if res.Served == 0 {
+			t.Fatalf("no requests served: %+v", res)
+		}
+		// Work spread across all servers.
+		for i, s := range res.PerServerServed {
+			if s == 0 {
+				t.Fatalf("server %d idle: %+v", i, res)
+			}
+		}
+	}
+	// Least-queue should not have materially worse latency than round-robin.
+	if !math.IsNaN(rr.LatencyAvg) && lq.LatencyAvg > 1.5*rr.LatencyAvg {
+		t.Fatalf("least-queue latency %v way above round-robin %v", lq.LatencyAvg, rr.LatencyAvg)
+	}
+}
+
+func TestClusterRoundRobinEvenSplit(t *testing.T) {
+	res := RunClusterSim(clusterCfg(3, 300, RoundRobin))
+	var min, max int64 = 1 << 62, 0
+	for _, s := range res.PerServerServed {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if float64(min) < 0.7*float64(max) {
+		t.Fatalf("round robin split uneven: %v", res.PerServerServed)
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	cfg := clusterCfg(0, 50, RoundRobin)
+	cfg.MaxBatch = 0
+	res := RunClusterSim(cfg) // clamped to 1 server, batch 1
+	if len(res.PerServerServed) != 1 {
+		t.Fatalf("servers clamp: %+v", res)
+	}
+}
+
+func TestBalancePolicyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastQueue.String() != "least-queue" {
+		t.Fatal("policy names")
+	}
+}

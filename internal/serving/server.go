@@ -1,0 +1,289 @@
+package serving
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Tokenize is the demo tokenizer: byte-level IDs offset past the special
+// tokens, clamped into the engine's vocabulary.
+func Tokenize(text string, vocab int) []int {
+	toks := make([]int, 0, len(text))
+	for _, b := range []byte(text) {
+		toks = append(toks, 3+int(b)%(vocab-3))
+	}
+	return toks
+}
+
+// queuedReq is one in-flight HTTP request.
+type queuedReq struct {
+	tokens  []int
+	arrival time.Time
+	resp    chan queuedResp
+}
+
+type queuedResp struct {
+	class     int
+	batchSize int
+	err       error
+}
+
+// Server is the live serving framework: an HTTP front end, a message queue,
+// the response cache, and a batching worker that plays the GPU's role
+// running the CPU engine. The default trigger is the hungry strategy
+// (whenever the worker is free it drains and schedules the queue); a
+// non-zero BatchWindow switches to the lazy strategy, accumulating
+// requests for up to the window before scheduling unless a full batch is
+// already waiting (§5).
+type Server struct {
+	engine      *core.Engine
+	scheduler   sched.Scheduler
+	maxBatch    int
+	batchWindow time.Duration
+	cache       *ResponseCache
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*queuedReq
+	closed bool
+
+	served       atomic.Int64
+	batchesRun   atomic.Int64
+	requestsSeen atomic.Int64
+}
+
+// ServerConfig configures NewServer.
+type ServerConfig struct {
+	Engine    *core.Engine
+	Scheduler sched.Scheduler // nil: DP over a warmed-up cost model is recommended
+	MaxBatch  int
+	CacheSize int // 0 disables the response cache
+	// BatchWindow enables the lazy trigger strategy: after the first
+	// request arrives, wait up to this long for companions before
+	// scheduling (a full batch fires immediately). Zero means hungry.
+	BatchWindow time.Duration
+}
+
+// NewServer builds the serving framework and starts its batching worker.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serving: engine required")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("serving: scheduler required")
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
+	s := &Server{
+		engine:      cfg.Engine,
+		scheduler:   cfg.Scheduler,
+		maxBatch:    cfg.MaxBatch,
+		batchWindow: cfg.BatchWindow,
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = NewResponseCache(cfg.CacheSize)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.worker()
+	return s, nil
+}
+
+// Close stops the worker; queued requests are failed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for _, q := range s.queue {
+		q.resp <- queuedResp{err: fmt.Errorf("serving: server closed")}
+	}
+	s.queue = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// worker drains the queue whenever it is non-empty, optionally lingering
+// for the lazy batch window, then partitions the pending requests with the
+// batch scheduler and executes batch by batch.
+func (s *Server) worker() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		pending := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+
+		// Lazy strategy: give companions a window to arrive, unless a full
+		// batch is already waiting.
+		if s.batchWindow > 0 && len(pending) < s.maxBatch {
+			time.Sleep(s.batchWindow)
+			s.mu.Lock()
+			pending = append(pending, s.queue...)
+			s.queue = nil
+			s.mu.Unlock()
+		}
+
+		// Adapt to the scheduler's view: lengths drive batching.
+		reqs := make([]*sched.Request, len(pending))
+		for i, q := range pending {
+			reqs[i] = &sched.Request{
+				ID:      int64(i),
+				Length:  len(q.tokens),
+				Arrival: float64(q.arrival.UnixNano()) / 1e9,
+				Payload: q,
+			}
+		}
+		for _, b := range s.scheduler.Schedule(reqs) {
+			s.runBatch(b)
+		}
+	}
+}
+
+func (s *Server) runBatch(b sched.Batch) {
+	s.batchesRun.Add(1)
+	tokens := make([][]int, b.Size())
+	for i, r := range b.Requests {
+		tokens[i] = r.Payload.(*queuedReq).tokens
+	}
+	classes, err := s.engine.Classify(tokens)
+	for i, r := range b.Requests {
+		q := r.Payload.(*queuedReq)
+		if err != nil {
+			q.resp <- queuedResp{err: err}
+			continue
+		}
+		s.served.Add(1)
+		q.resp <- queuedResp{class: classes[i], batchSize: b.Size()}
+	}
+}
+
+// enqueue adds a request and wakes the worker.
+func (s *Server) enqueue(q *queuedReq) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serving: server closed")
+	}
+	s.queue = append(s.queue, q)
+	s.cond.Signal()
+	return nil
+}
+
+// classifyRequest is the POST /v1/classify body.
+type classifyRequest struct {
+	Text string `json:"text"`
+}
+
+// classifyResponse is the reply.
+type classifyResponse struct {
+	Class     int     `json:"class"`
+	Cached    bool    `json:"cached"`
+	BatchSize int     `json:"batch_size"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// statsResponse is the GET /v1/stats reply.
+type statsResponse struct {
+	Served     int64 `json:"served"`
+	Requests   int64 `json:"requests"`
+	BatchesRun int64 `json:"batches_run"`
+	CacheHits  int64 `json:"cache_hits"`
+	CacheMiss  int64 `json:"cache_misses"`
+}
+
+// Handler returns the HTTP mux for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
+		http.Error(w, "body must be {\"text\": ...}", http.StatusBadRequest)
+		return
+	}
+	s.requestsSeen.Add(1)
+	start := time.Now()
+
+	key := cacheKey(req.Text)
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			writeJSON(w, classifyResponse{
+				Class:     v.(int),
+				Cached:    true,
+				LatencyMS: float64(time.Since(start)) / 1e6,
+			})
+			return
+		}
+	}
+
+	q := &queuedReq{
+		tokens:  Tokenize(req.Text, s.engine.Cfg.Vocab),
+		arrival: start,
+		resp:    make(chan queuedResp, 1),
+	}
+	if err := s.enqueue(q); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp := <-q.resp
+	if resp.err != nil {
+		http.Error(w, resp.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.cache != nil {
+		s.cache.Put(key, resp.class)
+	}
+	writeJSON(w, classifyResponse{
+		Class:     resp.class,
+		BatchSize: resp.batchSize,
+		LatencyMS: float64(time.Since(start)) / 1e6,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var hits, misses int64
+	if s.cache != nil {
+		hits, misses = s.cache.Stats()
+	}
+	writeJSON(w, statsResponse{
+		Served:     s.served.Load(),
+		Requests:   s.requestsSeen.Load(),
+		BatchesRun: s.batchesRun.Load(),
+		CacheHits:  hits,
+		CacheMiss:  misses,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func cacheKey(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,234 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func testServer(t *testing.T, cacheSize int) (*Server, *httptest.Server) {
+	t.Helper()
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2), core.Options{Seed: 1, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sched.CostFunc(func(l, b int) time.Duration {
+		return time.Duration(l*b) * 10 * time.Microsecond
+	})
+	srv, err := NewServer(ServerConfig{
+		Engine:    engine,
+		Scheduler: &sched.DPScheduler{Cost: cost, MaxBatch: 8},
+		MaxBatch:  8,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func classify(t *testing.T, url, text string) classifyResponse {
+	t.Helper()
+	body, _ := json.Marshal(classifyRequest{Text: text})
+	resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out classifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerClassifyEndToEnd(t *testing.T) {
+	_, ts := testServer(t, 0)
+	r1 := classify(t, ts.URL, "hello transformer serving")
+	if r1.Class < 0 || r1.Class >= 3 {
+		t.Fatalf("class out of range: %+v", r1)
+	}
+	r2 := classify(t, ts.URL, "hello transformer serving")
+	if r2.Class != r1.Class {
+		t.Fatal("same text must classify identically")
+	}
+}
+
+func TestServerResponseCache(t *testing.T) {
+	srv, ts := testServer(t, 16)
+	first := classify(t, ts.URL, "cached request")
+	if first.Cached {
+		t.Fatal("first request cannot be cached")
+	}
+	second := classify(t, ts.URL, "cached request")
+	if !second.Cached {
+		t.Fatal("second identical request should hit the cache")
+	}
+	if second.Class != first.Class {
+		t.Fatal("cached class differs")
+	}
+	hits, _ := srv.cache.Stats()
+	if hits != 1 {
+		t.Fatalf("cache hits = %d", hits)
+	}
+}
+
+func TestServerConcurrentRequestsBatch(t *testing.T) {
+	srv, ts := testServer(t, 0)
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := classify(t, ts.URL, fmt.Sprintf("request number %d with some text", i))
+			if r.Class < 0 {
+				errs <- fmt.Errorf("bad class")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.served.Load() != n {
+		t.Fatalf("served %d of %d", srv.served.Load(), n)
+	}
+	// With 12 concurrent requests against one worker, batching must have
+	// produced fewer batches than requests.
+	if srv.batchesRun.Load() >= n {
+		t.Logf("warning: no batching observed (%d batches for %d requests) — timing dependent", srv.batchesRun.Load(), n)
+	}
+}
+
+func TestServerStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t, 4)
+	classify(t, ts.URL, "stats test")
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != 1 || stats.Requests != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t, 0)
+	resp, err := http.Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET should 405, got %d", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty text should 400, got %d", r2.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("missing engine should error")
+	}
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 1), core.Options{Seed: 1, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(ServerConfig{Engine: engine}); err == nil {
+		t.Fatal("missing scheduler should error")
+	}
+}
+
+func TestServerLazyWindowBatchesBurst(t *testing.T) {
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2), core.Options{Seed: 2, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cost surface with a fixed launch floor, so batching genuinely pays
+	// and the DP scheduler groups the burst.
+	cost := sched.CostFunc(func(l, b int) time.Duration {
+		return 500*time.Microsecond + time.Duration(l*b)*2*time.Microsecond
+	})
+	srv, err := NewServer(ServerConfig{
+		Engine:      engine,
+		Scheduler:   &sched.DPScheduler{Cost: cost, MaxBatch: 16},
+		MaxBatch:    16,
+		BatchWindow: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			classify(t, ts.URL, fmt.Sprintf("lazy burst request %d", i))
+		}(i)
+	}
+	wg.Wait()
+	if srv.served.Load() != n {
+		t.Fatalf("served %d of %d", srv.served.Load(), n)
+	}
+	// The 80ms window must have grouped the burst into very few batches.
+	if got := srv.batchesRun.Load(); got > n/2 {
+		t.Fatalf("lazy window did not batch: %d batches for %d requests", got, n)
+	}
+}
+
+func TestServerCloseFailsPending(t *testing.T) {
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 1), core.Options{Seed: 1, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Engine:    engine,
+		Scheduler: &sched.NoBatchScheduler{Cost: sched.CostFunc(func(l, b int) time.Duration { return 0 })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	q := &queuedReq{tokens: []int{5}, arrival: time.Now(), resp: make(chan queuedResp, 1)}
+	if err := srv.enqueue(q); err == nil {
+		t.Fatal("enqueue after close should fail")
+	}
+}

@@ -1,0 +1,221 @@
+// Package serving implements the TurboTransformers serving framework (§5):
+// message queue, response cache, batch-scheduler dispatch with the hungry
+// and lazy trigger strategies, and two execution substrates — a
+// discrete-event simulation against the GPU latency model (the Figs. 15–16
+// experiments) and a real net/http service running the CPU engine.
+package serving
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// Strategy selects when the batch scheduler fires (§5).
+type Strategy int
+
+const (
+	// Hungry dispatches whenever the GPU is idle and the queue is
+	// non-empty — for high-load serving at full GPU utilisation.
+	Hungry Strategy = iota
+	// Lazy waits for a full batch or a timeout, and additionally fires
+	// early when the oldest request's wait plus the estimated execution
+	// time would exceed half the SLO (the paper's reordering guard).
+	Lazy
+)
+
+// SimConfig configures one serving-simulation run.
+type SimConfig struct {
+	// Rate is the offered load (requests/second, Poisson arrivals).
+	Rate float64
+	// Warmup seconds are excluded from measurement; Duration seconds are
+	// measured after that.
+	Warmup, Duration float64
+	Seed             int64
+
+	// Request lengths are uniform in [LenLo, LenHi] (§6.3 uses 2–100 and
+	// 5–500).
+	LenLo, LenHi int
+
+	Scheduler sched.Scheduler
+	// Cost prices a batch's execution on the device (ground truth for the
+	// simulation; the DP scheduler may use the same or a coarser model).
+	Cost     sched.CostModel
+	MaxBatch int
+
+	Strategy    Strategy
+	LazyTimeout float64 // seconds
+	SLO         float64 // seconds; 0 disables the half-SLO guard
+}
+
+// SimResult reports one run's serving metrics.
+type SimResult struct {
+	OfferedRate  float64
+	Served       int64
+	ServedPerSec float64
+	// Latency aggregates response time (completion − arrival) in seconds
+	// over completions inside the measurement window.
+	LatencyAvg, LatencyMin, LatencyMax float64
+	// Saturated marks runs where the queue diverged: offered load exceeded
+	// the critical point and tail latencies grow without bound (+∞ in
+	// Tables 4–5).
+	Saturated     bool
+	FinalQueueLen int
+}
+
+// RunServingSim replays Poisson arrivals of uniform-length requests through
+// the configured scheduler and execution model on a virtual clock.
+func RunServingSim(cfg SimConfig) SimResult {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	sim := simclock.New()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	var (
+		mq        []*sched.Request
+		busy      bool
+		nextID    int64
+		stats     = simclock.NewLatencyStats()
+		served    int64
+		timerSet  bool
+		measureLo = cfg.Warmup
+		measureHi = cfg.Warmup + cfg.Duration
+	)
+
+	var dispatch func()
+	execute := func(b sched.Batch) {
+		busy = true
+		dur := float64(cfg.Cost.BatchCost(b.PaddedLen, b.Size())) / 1e9
+		reqs := b.Requests
+		sim.After(dur, func() {
+			for _, r := range reqs {
+				if sim.Now() >= measureLo && sim.Now() <= measureHi {
+					stats.Add(sim.Now() - r.Arrival)
+					served++
+				}
+			}
+			busy = false
+			dispatch()
+		})
+	}
+
+	removeScheduled := func(b sched.Batch, windowLen int) {
+		inBatch := make(map[int64]bool, b.Size())
+		for _, r := range b.Requests {
+			inBatch[r.ID] = true
+		}
+		// Scheduled requests always come from the head window; the tail is
+		// untouched, so only the window needs filtering.
+		kept := mq[:0]
+		for _, r := range mq[:windowLen] {
+			if !inBatch[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		kept = append(kept, mq[windowLen:]...)
+		mq = kept
+	}
+
+	// The scheduler looks at a bounded FIFO window of the queue: under
+	// overload the backlog is unbounded, and rescheduling all of it on
+	// every dispatch would be quadratic without changing the outcome
+	// (requests beyond the window wait their turn anyway).
+	window := 16 * cfg.MaxBatch
+
+	dispatch = func() {
+		if busy || len(mq) == 0 {
+			return
+		}
+		if cfg.Strategy == Lazy && !lazyShouldFire(sim.Now(), mq, cfg) {
+			if !timerSet {
+				timerSet = true
+				sim.After(cfg.LazyTimeout, func() {
+					timerSet = false
+					dispatch()
+				})
+			}
+			return
+		}
+		view := mq
+		if len(view) > window {
+			view = view[:window]
+		}
+		batches := cfg.Scheduler.Schedule(snapshot(view))
+		if len(batches) == 0 {
+			return
+		}
+		b := batches[0]
+		removeScheduled(b, len(view))
+		execute(b)
+	}
+
+	sim.PoissonArrivals(cfg.Rate, cfg.Seed, measureHi, func(i int64) {
+		nextID++
+		length := cfg.LenLo
+		if cfg.LenHi > cfg.LenLo {
+			length += rng.Intn(cfg.LenHi - cfg.LenLo + 1)
+		}
+		mq = append(mq, &sched.Request{ID: nextID, Length: length, Arrival: sim.Now()})
+		dispatch()
+	})
+
+	// Let in-flight work drain briefly past the window so completions at
+	// the boundary are observed.
+	sim.Run(measureHi)
+
+	res := SimResult{
+		OfferedRate:   cfg.Rate,
+		Served:        served,
+		ServedPerSec:  float64(served) / cfg.Duration,
+		LatencyAvg:    stats.Avg(),
+		LatencyMin:    stats.Min,
+		LatencyMax:    stats.Max,
+		FinalQueueLen: len(mq),
+	}
+	if stats.Count == 0 {
+		res.LatencyAvg, res.LatencyMin, res.LatencyMax = math.NaN(), math.NaN(), math.NaN()
+	}
+	// Saturation: the queue holds more than a second of offered load, or
+	// the served rate fell clearly short of the offered rate.
+	backlogLimit := cfg.Rate * 1.0
+	if backlogLimit < 20 {
+		backlogLimit = 20
+	}
+	if float64(res.FinalQueueLen) > backlogLimit && res.ServedPerSec < 0.95*cfg.Rate {
+		res.Saturated = true
+	}
+	return res
+}
+
+// lazyShouldFire implements the lazy trigger: full batch, or the half-SLO
+// guard on the oldest queued request.
+func lazyShouldFire(now float64, mq []*sched.Request, cfg SimConfig) bool {
+	if len(mq) >= cfg.MaxBatch {
+		return true
+	}
+	if cfg.SLO > 0 && len(mq) > 0 {
+		oldest := mq[0]
+		estimate := float64(cfg.Cost.BatchCost(maxLen(mq), len(mq))) / 1e9
+		if now-oldest.Arrival+estimate > cfg.SLO/2 {
+			return true
+		}
+	}
+	return false
+}
+
+func maxLen(mq []*sched.Request) int {
+	m := 0
+	for _, r := range mq {
+		if r.Length > m {
+			m = r.Length
+		}
+	}
+	return m
+}
+
+func snapshot(mq []*sched.Request) []*sched.Request {
+	return append([]*sched.Request(nil), mq...)
+}

@@ -1,0 +1,146 @@
+// Package simclock is a deterministic discrete-event simulation core with a
+// virtual clock: the substrate for the serving-throughput experiments
+// (Figs. 15–16, Tables 4–5), where thousands of Poisson-arriving requests
+// per second must be replayed reproducibly and far faster than real time.
+package simclock
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. Zero value is not usable; call New.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// New returns an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics — it is a logic bug in the model.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic("simclock: event scheduled in the past")
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		panic("simclock: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run processes events in time order until the queue empties or the clock
+// passes until. Events scheduled exactly at until still fire.
+func (s *Sim) Run(until float64) {
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events (for tests).
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// PoissonArrivals schedules fn for each arrival of a Poisson process with
+// the given rate (events/second), from the current time until the limit.
+// The sequence is fully determined by seed.
+func (s *Sim) PoissonArrivals(rate float64, seed int64, until float64, fn func(i int64)) {
+	if rate <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := s.now
+	var i int64
+	for {
+		t += rng.ExpFloat64() / rate
+		if t > until {
+			return
+		}
+		idx := i
+		s.At(t, func() { fn(idx) })
+		i++
+	}
+}
+
+// LatencyStats accumulates response-latency statistics online.
+type LatencyStats struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// NewLatencyStats returns an empty accumulator.
+func NewLatencyStats() *LatencyStats {
+	return &LatencyStats{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add records one latency observation (seconds).
+func (l *LatencyStats) Add(v float64) {
+	l.Count++
+	l.Sum += v
+	if v < l.Min {
+		l.Min = v
+	}
+	if v > l.Max {
+		l.Max = v
+	}
+}
+
+// Avg returns the mean latency, or NaN when empty.
+func (l *LatencyStats) Avg() float64 {
+	if l.Count == 0 {
+		return math.NaN()
+	}
+	return l.Sum / float64(l.Count)
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import "math"
+
+// IEEE 754 binary16 conversion, used to emulate the Turbo-TC path: Tensor
+// Cores consume FP16 inputs and accumulate in FP32, so rounding operands
+// through binary16 before an FP32-accumulated GEMM reproduces the numeric
+// behaviour the paper calls "minimal and acceptable precision loss"
+// (§6.2.1) — and lets tests quantify that loss.
+
+// F32ToF16Bits converts a float32 to binary16 bits with round-to-nearest-
+// even, handling denormals, overflow to infinity, and NaN.
+func F32ToF16Bits(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xff
+	frac := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if frac != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp > 142: // overflow (unbiased > 15): round to Inf
+		return sign | 0x7c00
+	case exp >= 113: // normal half range (unbiased -14..15)
+		halfExp := uint16(exp-112) << 10
+		halfFrac := uint16(frac >> 13)
+		// Round to nearest even on the 13 dropped bits.
+		round := frac & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && halfFrac&1 == 1) {
+			return sign | (halfExp + halfFrac + 1) // carry may bump the exponent: still correct
+		}
+		return sign | halfExp | halfFrac
+	case exp >= 102: // denormal half (exp 102 can still round up to 2⁻²⁴)
+		// Implicit leading 1 becomes explicit; half denormals represent
+		// mant × 2^(exp-126) in units of 2⁻²⁴.
+		mant := frac | 0x800000
+		s := uint32(126) - uint32(exp) // 14..24
+		halfFrac := uint16(mant >> s)
+		rem := mant & ((uint32(1) << s) - 1)
+		half := uint32(1) << (s - 1)
+		if rem > half || (rem == half && halfFrac&1 == 1) {
+			halfFrac++
+		}
+		return sign | halfFrac
+	default: // underflow to signed zero
+		return sign
+	}
+}
+
+// F16BitsToF32 converts binary16 bits back to float32.
+func F16BitsToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	frac := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7fc00000)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0: // zero or denormal
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Normalise the denormal.
+		e := uint32(113)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3ff
+		return math.Float32frombits(sign | (e << 23) | (frac << 13))
+	default:
+		return math.Float32frombits(sign | ((exp + 112) << 23) | (frac << 13))
+	}
+}
+
+// RoundF16 returns x rounded through binary16 (the value a Tensor Core
+// would actually read).
+func RoundF16(x float32) float32 {
+	return F16BitsToF32(F32ToF16Bits(x))
+}
+
+// RoundSliceF16 rounds every element through binary16 in place.
+func RoundSliceF16(x []float32) {
+	for i, v := range x {
+		x[i] = RoundF16(v)
+	}
+}
+
+// RoundedF16 returns a new tensor with every element rounded through
+// binary16, leaving t untouched.
+func (t *Tensor) RoundedF16() *Tensor {
+	c := t.Clone()
+	RoundSliceF16(c.Data())
+	return c
+}

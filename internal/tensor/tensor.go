@@ -1,0 +1,275 @@
+// Package tensor provides the dense FP32 tensor type used throughout the
+// runtime. Tensors are row-major and contiguous; lightweight views are
+// supported for reshape and leading-axis slicing, which is all the
+// transformer kernels need.
+//
+// The design mirrors the paper's runtime (§4.2): tensors are plain buffers
+// whose placement is decided by the memory manager, so Tensor deliberately
+// carries no allocator state — it can wrap either a Go slice or a region of
+// a simulated device chunk.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major FP32 tensor.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float32
+	name    string
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// It panics if any dimension is negative; zero-sized dimensions are allowed.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: contiguousStrides(shape),
+		data:    make([]float32, n),
+	}
+}
+
+// FromSlice wraps data in a tensor of the given shape without copying.
+// It panics if len(data) does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d != shape volume %d", len(data), n))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: contiguousStrides(shape),
+		data:    data,
+	}
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func contiguousStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= shape[i]
+	}
+	return strides
+}
+
+// WithName sets a debug name and returns the tensor for chaining.
+func (t *Tensor) WithName(name string) *Tensor {
+	t.name = name
+	return t
+}
+
+// Name returns the debug name (possibly empty).
+func (t *Tensor) Name() string { return t.name }
+
+// Shape returns the tensor shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// NumElements returns the total element count.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// Bytes returns the storage size in bytes (4 bytes per FP32 element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// Data returns the underlying storage. Mutations are visible to all views.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-index. Intended for tests and
+// small examples; kernels index Data() directly.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) on axis %d", x, t.shape[i], i))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Reshape returns a view with a new shape covering the same data.
+// It panics if the volumes differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: reshape volume %d != data length %d", n, len(t.data)))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: contiguousStrides(shape),
+		data:    t.data,
+		name:    t.name,
+	}
+}
+
+// Row returns a view of row i of a rank-2 tensor (shape [cols]).
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank 2")
+	}
+	cols := t.shape[1]
+	return FromSlice(t.data[i*cols:(i+1)*cols], cols)
+}
+
+// SliceAxis0 returns a view of rows [from,to) along the leading axis.
+func (t *Tensor) SliceAxis0(from, to int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceAxis0 on scalar")
+	}
+	if from < 0 || to > t.shape[0] || from > to {
+		panic(fmt.Sprintf("tensor: slice [%d,%d) out of range [0,%d]", from, to, t.shape[0]))
+	}
+	inner := 1
+	for _, d := range t.shape[1:] {
+		inner *= d
+	}
+	shape := append([]int{to - from}, t.shape[1:]...)
+	return FromSlice(t.data[from*inner:to*inner], shape...)
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	c.name = t.name
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom volume mismatch %d != %d", len(src.data), len(t.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// t and other. Volumes must match.
+func (t *Tensor) MaxAbsDiff(other *Tensor) float64 {
+	if len(other.data) != len(t.data) {
+		panic("tensor: MaxAbsDiff volume mismatch")
+	}
+	var maxd float64
+	for i := range t.data {
+		d := math.Abs(float64(t.data[i]) - float64(other.data[i]))
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// AllClose reports whether every element of t is within atol+rtol*|other|
+// of the corresponding element of other.
+func (t *Tensor) AllClose(other *Tensor, rtol, atol float64) bool {
+	if len(other.data) != len(t.data) {
+		return false
+	}
+	for i := range t.data {
+		a, b := float64(t.data[i]), float64(other.data[i])
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return false
+		}
+		if math.Abs(a-b) > atol+rtol*math.Abs(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShape reports whether t and other have identical shapes.
+func (t *Tensor) SameShape(other *Tensor) bool {
+	if len(t.shape) != len(other.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != other.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description, truncating large tensors.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	if t.name != "" {
+		fmt.Fprintf(&b, "%s ", t.name)
+	}
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	const maxShow = 8
+	n := len(t.data)
+	show := n
+	if show > maxShow {
+		show = maxShow
+	}
+	b.WriteString(" [")
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if n > maxShow {
+		fmt.Fprintf(&b, " … (%d total)", n)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Volume returns the product of the dimensions in shape.
+func Volume(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,294 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.NumElements() != 6 {
+		t.Fatalf("NumElements = %d, want 6", x.NumElements())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("shape = %v, want [2 3]", x.Shape())
+	}
+}
+
+func TestNewZeroDim(t *testing.T) {
+	x := New(0, 5)
+	if x.NumElements() != 0 {
+		t.Fatalf("NumElements = %d, want 0", x.NumElements())
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceNoCopy(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	x := FromSlice(data, 2, 2)
+	data[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("FromSlice must wrap without copying")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRowMajor(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if x.Data()[5] != 7 {
+		t.Fatalf("row-major layout violated: data=%v", x.Data())
+	}
+	if x.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", x.At(1, 2))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	x.At(0, 3)
+}
+
+func TestAtRankMismatchPanics(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rank mismatch")
+		}
+	}()
+	x.At(1)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(9, 0, 1)
+	if x.Data()[1] != 9 {
+		t.Fatal("reshape must alias the same data")
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 4 {
+		t.Fatalf("reshape shape = %v", y.Shape())
+	}
+}
+
+func TestReshapeVolumeMismatchPanics(t *testing.T) {
+	x := New(2, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on volume mismatch")
+		}
+	}()
+	x.Reshape(5, 3)
+}
+
+func TestRowView(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Row(1)
+	if r.NumElements() != 3 || r.At(0) != 4 {
+		t.Fatalf("Row(1) = %v", r.Data())
+	}
+	r.Set(40, 0)
+	if x.At(1, 0) != 40 {
+		t.Fatal("Row must return a view")
+	}
+}
+
+func TestSliceAxis0(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	s := x.SliceAxis0(1, 3)
+	want := []float32{3, 4, 5, 6}
+	for i, v := range s.Data() {
+		if v != want[i] {
+			t.Fatalf("slice data = %v, want %v", s.Data(), want)
+		}
+	}
+	if s.Dim(0) != 2 || s.Dim(1) != 2 {
+		t.Fatalf("slice shape = %v", s.Shape())
+	}
+}
+
+func TestSliceAxis0BoundsPanics(t *testing.T) {
+	x := New(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad bounds")
+		}
+	}()
+	x.SliceAxis0(3, 5)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	x := New(3)
+	x.Fill(2.5)
+	for _, v := range x.Data() {
+		if v != 2.5 {
+			t.Fatalf("Fill failed: %v", x.Data())
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("Zero failed: %v", x.Data())
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := New(4)
+	y.CopyFrom(x)
+	if y.At(3) != 4 {
+		t.Fatalf("CopyFrom: %v", y.Data())
+	}
+}
+
+func TestMaxAbsDiffAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2.001, 3}, 3)
+	d := a.MaxAbsDiff(b)
+	if math.Abs(d-0.001) > 1e-6 {
+		t.Fatalf("MaxAbsDiff = %v, want ~0.001", d)
+	}
+	if !a.AllClose(b, 1e-2, 1e-2) {
+		t.Fatal("AllClose should accept small diff")
+	}
+	if a.AllClose(b, 0, 1e-6) {
+		t.Fatal("AllClose should reject diff above atol")
+	}
+}
+
+func TestAllCloseNaN(t *testing.T) {
+	a := FromSlice([]float32{float32(math.NaN())}, 1)
+	b := FromSlice([]float32{0}, 1)
+	if a.AllClose(b, 1, 1) {
+		t.Fatal("AllClose must reject NaN")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("equal shapes reported unequal")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("unequal shapes reported equal")
+	}
+	if New(2, 3).SameShape(New(2, 3, 1)) {
+		t.Fatal("different rank reported equal")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	x := New(100).WithName("big")
+	s := x.String()
+	if len(s) > 200 {
+		t.Fatalf("String too long: %q", s)
+	}
+}
+
+func TestRandNDeterministic(t *testing.T) {
+	a := RandN(7, 1, 4, 4)
+	b := RandN(7, 1, 4, 4)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("RandN must be deterministic for equal seeds")
+	}
+	c := RandN(8, 1, 4, 4)
+	if a.MaxAbsDiff(c) == 0 {
+		t.Fatal("different seeds should produce different tensors")
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	x := RandUniform(3, -1, 1, 1000)
+	for _, v := range x.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestArange(t *testing.T) {
+	x := Arange(4, 0.5)
+	want := []float32{0, 0.5, 1, 1.5}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("Arange = %v, want %v", x.Data(), want)
+		}
+	}
+}
+
+func TestVolume(t *testing.T) {
+	if Volume([]int{2, 3, 4}) != 24 {
+		t.Fatal("Volume failed")
+	}
+	if Volume(nil) != 1 {
+		t.Fatal("Volume of empty shape should be 1")
+	}
+}
+
+// Property: Reshape never changes the element sequence.
+func TestQuickReshapePreservesData(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 12
+		x := RandN(seed, 1, n)
+		y := x.Reshape(3, 4).Reshape(2, 6).Reshape(n)
+		return x.MaxAbsDiff(y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone + mutate never affects the original.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed int64, v float32) bool {
+		x := RandN(seed, 1, 8)
+		orig := append([]float32(nil), x.Data()...)
+		c := x.Clone()
+		c.Fill(v)
+		for i, e := range x.Data() {
+			if e != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

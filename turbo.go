@@ -1,0 +1,192 @@
+// Package turbo is a from-scratch Go reproduction of "TurboTransformers:
+// An Efficient GPU Serving System For Transformer Models" (PPoPP 2021).
+//
+// It exposes the system's three contributions behind one facade:
+//
+//   - a transformer inference runtime with kernel fusion and real
+//     variable-length execution (Engine),
+//   - the sequence-length-aware memory manager of Algorithm 1
+//     (selected via Options.Allocator),
+//   - the sequence-length-aware DP batch scheduler of Algorithm 2 and the
+//     serving framework around it (NewDPScheduler, NewServer),
+//
+// plus the GPU latency model and benchmark harness that regenerate every
+// table and figure of the paper's evaluation (Experiments, RunExperiment).
+//
+// Quickstart (the paper's §6.1 "three lines" equivalent):
+//
+//	engine, _ := turbo.NewEngine(turbo.BertBase(), turbo.Options{Classes: 2})
+//	classes, _ := engine.Classify([][]int{{101, 2023, 2003, 102}})
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package turbo
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/sched"
+	"repro/internal/serving"
+)
+
+// Re-exported model configurations (Table 3).
+type Config = model.Config
+
+// BertBase returns the BERT base configuration.
+func BertBase() Config { return model.BertBase() }
+
+// Albert returns the ALBERT configuration (Table 3 as printed).
+func Albert() Config { return model.Albert() }
+
+// DistilBert returns the DistilBERT configuration.
+func DistilBert() Config { return model.DistilBert() }
+
+// Seq2SeqDecoder returns the NMT decoder configuration.
+func Seq2SeqDecoder() Config { return model.Seq2SeqDecoder() }
+
+// Engine is the inference runtime (see internal/core).
+type Engine = core.Engine
+
+// Options configures NewEngine.
+type Options = core.Options
+
+// Allocator kinds for Options.Allocator.
+const (
+	AllocTurbo   = core.AllocTurbo
+	AllocGSOC    = core.AllocGSOC
+	AllocCaching = core.AllocCaching
+	AllocNaive   = core.AllocNaive
+)
+
+// NewEngine builds an inference engine for cfg.
+func NewEngine(cfg Config, opts Options) (*Engine, error) {
+	return core.NewEngine(cfg, opts)
+}
+
+// Decoder is the Seq2Seq decoder with beam search.
+type Decoder = model.Decoder
+
+// NewDecoder builds a decoder with deterministic random weights.
+func NewDecoder(cfg Config, seed int64) (*Decoder, error) {
+	return model.NewDecoder(cfg, seed)
+}
+
+// Translator is the full encoder→decoder NMT pipeline (Fig. 1).
+type Translator = model.Translator
+
+// Hypothesis is one beam-search result.
+type Hypothesis = model.Hypothesis
+
+// NewTranslator builds the encoder-decoder pipeline with the Turbo
+// allocator managing the encoder's intermediates.
+func NewTranslator(encCfg, decCfg Config, seed int64) (*Translator, error) {
+	return model.NewTranslator(encCfg, decCfg, seed,
+		allocator.NewTurbo(allocator.NewDevice()))
+}
+
+// Scheduling types (Algorithm 2 and baselines).
+type (
+	// Request is a queued inference request.
+	Request = sched.Request
+	// Batch is a scheduled execution batch.
+	Batch = sched.Batch
+	// Scheduler partitions queued requests into batches.
+	Scheduler = sched.Scheduler
+	// CostModel prices a (paddedLen, batchSize) execution.
+	CostModel = sched.CostModel
+	// CostFunc adapts a function to CostModel.
+	CostFunc = sched.CostFunc
+	// CachedCost is the warm-up-built cost dictionary.
+	CachedCost = sched.CachedCost
+)
+
+// NewDPScheduler returns the paper's DP batch scheduler over a cost model.
+func NewDPScheduler(cost CostModel, maxBatch int) Scheduler {
+	return &sched.DPScheduler{Cost: cost, MaxBatch: maxBatch}
+}
+
+// NewNaiveScheduler returns the pack-everything baseline.
+func NewNaiveScheduler(cost CostModel, maxBatch int) Scheduler {
+	return &sched.NaiveScheduler{Cost: cost, MaxBatch: maxBatch}
+}
+
+// NewNoBatchScheduler returns the serve-one-at-a-time baseline.
+func NewNoBatchScheduler(cost CostModel) Scheduler {
+	return &sched.NoBatchScheduler{Cost: cost}
+}
+
+// WarmupCost runs the §6.3 warm-up phase: it prices every (sampled length,
+// batch size) combination with price and returns the interpolating
+// dictionary Algorithm 2 consults.
+func WarmupCost(price func(seqLen, batchSize int) time.Duration, maxLen, maxBatch, lenStride int) *CachedCost {
+	return sched.BuildCachedCost(price, maxLen, maxBatch, lenStride)
+}
+
+// SaveCost persists a warm-up dictionary to disk; LoadCost restores it —
+// the paper stores warm-up results "on disk or database ... and reloaded
+// to memory when the serving module is restarted" (§5).
+func SaveCost(c *CachedCost, path string) error { return c.SaveFile(path) }
+
+// LoadCost restores a dictionary written by SaveCost.
+func LoadCost(path string) (*CachedCost, error) { return sched.LoadCachedCostFile(path) }
+
+// Serving framework.
+type (
+	// Server is the live HTTP serving framework.
+	Server = serving.Server
+	// ServerConfig configures NewServer.
+	ServerConfig = serving.ServerConfig
+)
+
+// NewServer starts the serving framework's batching worker.
+func NewServer(cfg ServerConfig) (*Server, error) { return serving.NewServer(cfg) }
+
+// GPU latency model (for capacity planning and the experiments).
+type (
+	// Profile is a runtime latency profile.
+	Profile = perf.Profile
+	// Estimator prices operators on a modelled GPU.
+	Estimator = perf.Estimator
+)
+
+// NewRTX2060Estimator returns the latency estimator for the paper's
+// end-to-end evaluation GPU.
+func NewRTX2060Estimator() *Estimator { return perf.NewEstimator(perf.RTX2060()) }
+
+// TurboProfile returns the TurboTransformers runtime profile.
+func TurboProfile() Profile { return perf.Turbo() }
+
+// Experiments lists the regenerable paper artefacts (table/figure IDs).
+func Experiments() []string {
+	var ids []string
+	for _, e := range bench.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one paper artefact ("fig5", "table4", ...)
+// writing its rows to w.
+func RunExperiment(id string, w io.Writer) error {
+	e, ok := bench.ByID(id)
+	if !ok {
+		return &UnknownExperimentError{ID: id}
+	}
+	return bench.RunOne(w, e)
+}
+
+// RunAllExperiments regenerates every artefact in paper order.
+func RunAllExperiments(w io.Writer) error { return bench.RunAll(w) }
+
+// UnknownExperimentError reports a bad experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "turbo: unknown experiment " + e.ID + " (see Experiments())"
+}

@@ -1,0 +1,87 @@
+package turbo_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	turbo "repro"
+)
+
+func TestFacadeEngine(t *testing.T) {
+	cfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: 1, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := engine.Classify([][]int{{5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 {
+		t.Fatalf("classes: %v", classes)
+	}
+}
+
+func TestFacadeDecoder(t *testing.T) {
+	cfg := turbo.Seq2SeqDecoder().Scaled(32, 4, 64, 1)
+	cfg.MaxTargetLen = 8
+	if _, err := turbo.NewDecoder(cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	cost := turbo.CostFunc(func(l, b int) time.Duration {
+		return time.Duration(l*b) * time.Microsecond
+	})
+	reqs := []*turbo.Request{{ID: 1, Length: 5}, {ID: 2, Length: 9}}
+	for _, s := range []turbo.Scheduler{
+		turbo.NewDPScheduler(cost, 4),
+		turbo.NewNaiveScheduler(cost, 4),
+		turbo.NewNoBatchScheduler(cost),
+	} {
+		total := 0
+		for _, b := range s.Schedule(reqs) {
+			total += b.Size()
+		}
+		if total != len(reqs) {
+			t.Fatalf("%s scheduled %d of %d requests", s.Name(), total, len(reqs))
+		}
+	}
+	cc := turbo.WarmupCost(func(l, b int) time.Duration {
+		return time.Duration(l) * time.Millisecond
+	}, 10, 2, 2)
+	if cc.BatchCost(5, 1) != 5*time.Millisecond {
+		t.Fatal("warmup dictionary lookup failed")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := turbo.Experiments()
+	if len(ids) != 19 { // 16 paper artefacts + 3 extras
+		t.Fatalf("experiments: %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := turbo.RunExperiment("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	err := turbo.RunExperiment("nope", &buf)
+	if err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if _, ok := err.(*turbo.UnknownExperimentError); !ok {
+		t.Fatalf("error type: %T", err)
+	}
+}
+
+func TestFacadeEstimator(t *testing.T) {
+	est := turbo.NewRTX2060Estimator()
+	d := est.EncoderLatency(turbo.TurboProfile(), turbo.BertBase(), 1, 100)
+	if d <= 0 {
+		t.Fatal("latency must be positive")
+	}
+}
