@@ -7,6 +7,10 @@
 // Endpoints:
 //
 //	POST /v1/classify {"text": "..."}  → {"class": k, "batch_size": b, ...}
+//	POST /v1/generate {"text": "...", "max_new_tokens": n, "stream": true}
+//	                                   → continuous-batching generation
+//	                                     (NDJSON token stream, or one JSON
+//	                                     object when stream is false)
 //	GET  /v1/stats                     → serving counters
 package main
 
@@ -32,6 +36,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "weight seed")
 	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
 	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
+	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
+	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
+	genTokenBudget := flag.Int("gen-token-budget", 0, "cap on summed worst-case context tokens across running generations (0 = unlimited)")
+	genMaxNew := flag.Int("gen-max-new", 32, "default max_new_tokens for /v1/generate")
 	flag.Parse()
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
@@ -77,13 +85,26 @@ func main() {
 	}
 	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
 
-	srv, err := turbo.NewServer(turbo.ServerConfig{
+	serverCfg := turbo.ServerConfig{
 		Engine:      engine,
 		Scheduler:   turbo.NewDPScheduler(cost, *maxBatch),
 		MaxBatch:    *maxBatch,
 		CacheSize:   *cacheSize,
 		BatchWindow: *batchWindow,
-	})
+	}
+	if *generate {
+		decCfg := turbo.Seq2SeqDecoder().Scaled(*hidden, *heads, 4**hidden, *layers)
+		genEngine, err := turbo.NewGenEngine(cfg, decCfg, turbo.Options{Seed: *seed + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serverCfg.GenEngine = genEngine
+		serverCfg.GenMaxBatch = *genMaxBatch
+		serverCfg.GenTokenBudget = *genTokenBudget
+		serverCfg.GenDefaultMaxNew = *genMaxNew
+		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d", decCfg.Layers, decCfg.Hidden, *genMaxBatch)
+	}
+	srv, err := turbo.NewServer(serverCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,118 @@
+// Generation serving: the continuous-batching path live. A mixed burst of
+// short and long generation requests hits /v1/generate concurrently; the
+// decode loop admits each request between iterations, so the stats show a
+// ragged batch forming (gen_peak_batch > 1) while short requests finish
+// and leave without waiting for long batch-mates.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	turbo "repro"
+)
+
+func main() {
+	encCfg := turbo.BertBase().Scaled(64, 4, 256, 2)
+	decCfg := turbo.Seq2SeqDecoder().Scaled(64, 4, 256, 2)
+
+	engine, err := turbo.NewEngine(encCfg, turbo.Options{Seed: 7, Classes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	genEngine, err := turbo.NewGenEngine(encCfg, decCfg, turbo.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := turbo.NewServer(turbo.ServerConfig{
+		Engine:           engine,
+		Scheduler:        turbo.NewDPScheduler(turbo.CostFunc(func(l, b int) time.Duration { return time.Duration(l*b) * time.Microsecond }), 8),
+		MaxBatch:         8,
+		GenEngine:        genEngine,
+		GenMaxBatch:      8,
+		GenDefaultMaxNew: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A concurrent burst of variable-length generation requests: lengths
+	// vary 6×, so under static batching the short ones would be held
+	// hostage by the long ones.
+	prompts := []struct {
+		text   string
+		maxNew int
+	}{
+		{"short prompt", 4},
+		{"a somewhat longer prompt with more tokens in it", 8},
+		{"tiny", 4},
+		{"the quick brown fox jumps over the lazy dog again and again", 16},
+		{"medium length prompt here", 8},
+		{"one more request to round out the ragged batch nicely", 24},
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, p := range prompts {
+		wg.Add(1)
+		go func(i int, text string, maxNew int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]interface{}{"text": text, "max_new_tokens": maxNew})
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Tokens       []int   `json:"tokens"`
+				Text         string  `json:"text"`
+				PromptTokens int     `json:"prompt_tokens"`
+				LatencyMS    float64 `json:"latency_ms"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("req %d: prompt %2d toks → %2d generated in %6.1f ms  %q\n",
+				i, out.PromptTokens, len(out.Tokens), out.LatencyMS, out.Text)
+		}(i, p.text, p.maxNew)
+	}
+	wg.Wait()
+	fmt.Printf("burst of %d completed in %v\n\n", len(prompts), time.Since(start).Round(time.Millisecond))
+
+	// One streaming request: tokens arrive as NDJSON lines.
+	body, _ := json.Marshal(map[string]interface{}{"text": "stream this generation", "max_new_tokens": 6, "stream": true})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("streaming request:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Printf("  %s\n", sc.Text())
+	}
+
+	// The serving counters show iteration-level batching happened.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: gen_requests=%v gen_tokens=%v gen_steps=%v gen_peak_batch=%v\n",
+		stats["gen_requests"], stats["gen_tokens"], stats["gen_steps"], stats["gen_peak_batch"])
+	fmt.Println("gen_peak_batch > 1 ⇒ multiple requests shared decode iterations;")
+	fmt.Println("gen_steps < gen_tokens ⇒ each iteration advanced several requests at once.")
+}

@@ -10,6 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5",
+		"gen-serving",
 		"extra-allocstall", "extra-chunkablation", "extra-cluster",
 	}
 	all := All()
@@ -134,6 +135,38 @@ func TestServingExperimentsTC(t *testing.T) {
 	}
 	runExperiment(t, "fig16")
 	runExperiment(t, "table5")
+}
+
+func TestGenServingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving simulations are slow; skipped in -short mode")
+	}
+	out := runExperiment(t, "gen-serving")
+	if !strings.Contains(out, "p99 speedup") || !strings.Contains(out, "cont req/s") {
+		t.Fatal("gen-serving missing comparison columns")
+	}
+}
+
+// TestGenServingContinuousWins is the tentpole acceptance criterion:
+// continuous batching must beat static DP batching on the variable-length
+// generation workload — better p99 at matched load, no less throughput.
+func TestGenServingContinuousWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving simulations are slow; skipped in -short mode")
+	}
+	for _, rate := range []float64{8, 16} {
+		st, ct := GenServingComparison(rate)
+		if ct.Served < st.Served {
+			t.Fatalf("rate %.0f: continuous served %d < static %d", rate, ct.Served, st.Served)
+		}
+		if st.Saturated && !ct.Saturated {
+			continue
+		}
+		if ct.LatencyP99 >= st.LatencyP99 {
+			t.Fatalf("rate %.0f: continuous p99 %.4fs not better than static %.4fs",
+				rate, ct.LatencyP99, st.LatencyP99)
+		}
+	}
 }
 
 func TestAllocStallReproducesMotivation(t *testing.T) {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/allocator"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// GenEngine is the generation runtime behind the continuous-batching
+// serving path: an encoder that turns a prompt into memory (its
+// intermediates planned by the sequence-length-aware allocator, Algorithm
+// 1) and a Generator that advances many sessions one token per iteration.
+// All device memory — encoder activation chunks and per-session KV caches —
+// is accounted on one simulated Device, so MemoryStats reflects the whole
+// workload.
+type GenEngine struct {
+	Cfg    model.Config // encoder geometry (prompt side)
+	DecCfg model.Config // decoder geometry (generation side)
+
+	Embedding *model.Embedding
+	Encoder   *model.Encoder
+	Generator *model.Generator
+
+	dev *allocator.Device
+}
+
+// NewGenEngine builds the generation runtime. Encoder and decoder must
+// agree on hidden size; opts.Allocator selects the encoder's activation
+// planner (default: turbo).
+func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error) {
+	if !decCfg.IsDecoder {
+		return nil, fmt.Errorf("core: generation needs a decoder config, got %s", decCfg.Name)
+	}
+	if encCfg.Hidden != decCfg.Hidden {
+		return nil, fmt.Errorf("core: encoder hidden %d != decoder hidden %d", encCfg.Hidden, decCfg.Hidden)
+	}
+	dev := allocator.NewDevice()
+	alloc, err := NewAllocator(opts.Allocator, dev)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := model.NewEncoder(encCfg, opts.Seed, alloc, !opts.Unfused)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := model.NewGenerator(decCfg, opts.Seed+10000, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &GenEngine{
+		Cfg:       encCfg,
+		DecCfg:    decCfg,
+		Embedding: model.NewEmbedding(encCfg, opts.Seed+20000),
+		Encoder:   enc,
+		Generator: gen,
+		dev:       dev,
+	}, nil
+}
+
+// StartSession encodes promptTokens and opens a generation session that
+// will emit at most maxNew tokens.
+func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*model.GenSession, error) {
+	if len(promptTokens) == 0 {
+		return nil, fmt.Errorf("core: empty prompt")
+	}
+	hidden, seqLens, err := e.Embedding.Encode([][]int{promptTokens})
+	if err != nil {
+		return nil, err
+	}
+	encoded, _, err := e.Encoder.Forward(hidden, seqLens)
+	if err != nil {
+		return nil, err
+	}
+	srcLen := len(promptTokens)
+	memory := tensor.FromSlice(encoded.Data()[:srcLen*e.Cfg.Hidden], srcLen, e.Cfg.Hidden)
+	return e.Generator.NewSession(id, memory, maxNew)
+}
+
+// Step advances every live session one greedy token (see Generator.Step).
+func (e *GenEngine) Step(sessions []*model.GenSession) ([]int, error) {
+	return e.Generator.Step(sessions)
+}
+
+// MemoryStats reports the shared device counters (encoder chunks + KV).
+func (e *GenEngine) MemoryStats() allocator.Snapshot {
+	return e.dev.Snapshot()
+}

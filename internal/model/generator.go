@@ -1,0 +1,234 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/allocator"
+	"repro/internal/blas"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Generator drives iteration-level (continuous-batching) autoregressive
+// generation on top of the Seq2Seq decoder: unlike BeamSearch, which owns a
+// whole request from start to finish, the Generator advances an arbitrary
+// set of live sessions by exactly one token per Step call, so a serving
+// loop can admit and evict requests between decode iterations.
+//
+// Every projection is batched across sessions ([rows,H]×[H,N] GEMMs) even
+// though the sessions sit at different positions with different context
+// lengths — the ragged parts (KV append, attention over each session's own
+// cache, its own cross-attention memory) are per-row. Because every GEMM
+// row is computed independently, a session's token stream is bit-identical
+// whether it runs alone or batched with strangers.
+//
+// Step reuses grow-only scratch buffers, so concurrent Step calls on one
+// Generator are not allowed — the serving loop is single-threaded by
+// design. Sessions may be created and closed from any goroutine.
+type Generator struct {
+	Cfg Config
+	dec *Decoder
+	dev *allocator.Device
+
+	// Decode-iteration scratch, grown to the largest batch seen. The
+	// logits buffer alone is rows×vocab floats; reallocating it per token
+	// would dominate the decode loop's garbage.
+	scratch struct {
+		rows                  int
+		x, q, k, v, ctx, proj []float32
+		inter, logits         []float32
+	}
+}
+
+// NewGenerator builds a generator around a decoder configuration. KV-cache
+// buffers are accounted on dev.
+func NewGenerator(cfg Config, seed int64, dev *allocator.Device) (*Generator, error) {
+	dec, err := NewDecoder(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		dev = allocator.NewDevice()
+	}
+	return &Generator{Cfg: cfg, dec: dec, dev: dev}, nil
+}
+
+// Decoder exposes the underlying decoder (for tests comparing against the
+// one-shot BeamSearch path).
+func (g *Generator) Decoder() *Decoder { return g.dec }
+
+// GenSession is one request's in-flight generation state: its private
+// cross-attention memory, its device-accounted KV cache, and the greedy
+// token stream so far.
+type GenSession struct {
+	ID int64
+
+	cc     *crossCache
+	kv     *KVCache
+	toks   []int // generated tokens, EOS included if hit
+	next   int   // token fed at the next step (BOS, then last generated)
+	pos    int   // next decode position
+	maxNew int
+	done   bool
+}
+
+// Generated returns the tokens produced so far.
+func (s *GenSession) Generated() []int { return s.toks }
+
+// Done reports whether the session hit EOS or its token budget.
+func (s *GenSession) Done() bool { return s.done }
+
+// ContextLen returns the number of tokens in the self-attention cache.
+func (s *GenSession) ContextLen() int { return s.kv.Len() }
+
+// KVBytes returns the session's current KV-cache device footprint.
+func (s *GenSession) KVBytes() int64 { return s.kv.Bytes() }
+
+// NewSession opens a generation session over encoder memory
+// [srcLen, hidden], producing at most maxNew tokens (clamped to the
+// decoder's MaxTargetLen). The KV cache is reserved for the full budget up
+// front, so admission control can reason about worst-case footprint.
+func (g *Generator) NewSession(id int64, memory *tensor.Tensor, maxNew int) (*GenSession, error) {
+	if memory.Rank() != 2 || memory.Dim(1) != g.Cfg.Hidden {
+		return nil, fmt.Errorf("model %s: memory shape %v, want [srcLen, %d]",
+			g.Cfg.Name, memory.Shape(), g.Cfg.Hidden)
+	}
+	if maxNew <= 0 || maxNew > g.Cfg.MaxTargetLen {
+		maxNew = g.Cfg.MaxTargetLen
+	}
+	return &GenSession{
+		ID:     id,
+		cc:     g.dec.buildCrossCache(memory),
+		kv:     NewKVCache(g.dev, g.Cfg.Layers, g.Cfg.Hidden, maxNew),
+		next:   TokBos,
+		maxNew: maxNew,
+	}, nil
+}
+
+// Close releases the session's device memory. Idempotent.
+func (s *GenSession) Close() {
+	if s.kv != nil {
+		s.kv.Free()
+		s.kv = nil
+	}
+}
+
+// Step advances every session by one greedy token and returns the token
+// chosen for each, in order. Sessions marked done are rejected — the
+// continuous scheduler must evict them between iterations.
+func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
+	rows := len(sessions)
+	if rows == 0 {
+		return nil, nil
+	}
+	for _, s := range sessions {
+		if s.done {
+			return nil, fmt.Errorf("model %s: session %d already done", g.Cfg.Name, s.ID)
+		}
+		if s.kv == nil {
+			return nil, fmt.Errorf("model %s: session %d closed", g.Cfg.Name, s.ID)
+		}
+	}
+	d := g.dec
+	h, inter, vocab := g.Cfg.Hidden, g.Cfg.Inter, g.Cfg.Vocab
+
+	if g.scratch.rows < rows {
+		g.scratch.rows = rows
+		g.scratch.x = make([]float32, rows*h)
+		g.scratch.q = make([]float32, rows*h)
+		g.scratch.k = make([]float32, rows*h)
+		g.scratch.v = make([]float32, rows*h)
+		g.scratch.ctx = make([]float32, rows*h)
+		g.scratch.proj = make([]float32, rows*h)
+		g.scratch.inter = make([]float32, rows*inter)
+		g.scratch.logits = make([]float32, rows*vocab)
+	}
+	x := g.scratch.x[:rows*h]
+	q := g.scratch.q[:rows*h]
+	kNew := g.scratch.k[:rows*h]
+	vNew := g.scratch.v[:rows*h]
+	ctx := g.scratch.ctx[:rows*h]
+	proj := g.scratch.proj[:rows*h]
+	interBuf := g.scratch.inter[:rows*inter]
+
+	// Embed every session's next token at its own position.
+	pe := make([]float32, h)
+	for ri, s := range sessions {
+		row := x[ri*h : (ri+1)*h]
+		copy(row, d.Embed.Word.Data()[s.next*h:(s.next+1)*h])
+		positionEncoding(s.pos, h, pe)
+		for i := range row {
+			row[i] += pe[i]
+		}
+	}
+	kernels.LayerNorm(x, d.Embed.Gamma.Data(), d.Embed.Beta.Data(), rows, h, 1e-5)
+
+	batchedLinear := func(in []float32, w *tensorMat, out []float32) {
+		blas.Gemm(false, false, rows, w.n, w.k, 1, in, w.k, w.data, w.n, 0, out, w.n)
+		if w.bias != nil {
+			kernels.AddBias(out, w.bias, rows, w.n)
+		}
+	}
+
+	for l := range d.layers {
+		lw := &d.layers[l]
+
+		// Self-attention: batched projections, per-session ragged cache.
+		batchedLinear(x, mat(lw.selfWq, lw.selfBq), q)
+		batchedLinear(x, mat(lw.selfWk, lw.selfBk), kNew)
+		batchedLinear(x, mat(lw.selfWv, lw.selfBv), vNew)
+		for ri, s := range sessions {
+			s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
+			T := s.kv.Len() + 1 // include the row just appended
+			d.attend(q[ri*h:(ri+1)*h], s.kv.K(l, T), s.kv.V(l, T), T, ctx[ri*h:(ri+1)*h])
+		}
+		batchedLinear(ctx, mat(lw.selfWo, lw.selfBo), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.selfLnG.Data(), lw.selfLnB.Data(), rows, h, 1e-5)
+
+		// Cross-attention against each session's own prompt memory.
+		batchedLinear(x, mat(lw.crossWq, lw.crossBq), q)
+		for ri, s := range sessions {
+			d.attend(q[ri*h:(ri+1)*h], s.cc.k[l], s.cc.v[l], s.cc.srcLen, ctx[ri*h:(ri+1)*h])
+		}
+		batchedLinear(ctx, mat(lw.crossWo, lw.crossBo), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.crossLnG.Data(), lw.crossLnB.Data(), rows, h, 1e-5)
+
+		// Feed-forward network, batched.
+		batchedLinear(x, mat(lw.ffnW1, lw.ffnB1), interBuf)
+		kernels.Act(g.Cfg.Act, interBuf)
+		batchedLinear(interBuf, mat(lw.ffnW2, lw.ffnB2), proj)
+		kernels.AddResidual(x, proj)
+		kernels.LayerNorm(x, lw.ffnLnG.Data(), lw.ffnLnB.Data(), rows, h, 1e-5)
+	}
+
+	// Vocabulary projection and greedy argmax per session.
+	logits := g.scratch.logits[:rows*vocab]
+	blas.Gemm(false, false, rows, vocab, h, 1, x, h, d.Proj.Data(), vocab, 0, logits, vocab)
+	out := make([]int, rows)
+	for ri, s := range sessions {
+		tok := argmax(logits[ri*vocab : (ri+1)*vocab])
+		out[ri] = tok
+		s.toks = append(s.toks, tok)
+		s.kv.Advance()
+		s.pos++
+		s.next = tok
+		if tok == TokEos || len(s.toks) >= s.maxNew {
+			s.done = true
+		}
+	}
+	return out, nil
+}
+
+// argmax returns the index of the largest value (first on ties, for
+// determinism).
+func argmax(vals []float32) int {
+	best := 0
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[best] {
+			best = i
+		}
+	}
+	return best
+}

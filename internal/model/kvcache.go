@@ -1,0 +1,135 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/allocator"
+)
+
+// KVChunkTokens is the granularity of KV-cache capacity growth. Like
+// Algorithm 1's 2 MB activation chunks, growing in fixed token chunks
+// bounds reallocation traffic while keeping slack proportional to the
+// chunk, not the sequence.
+const KVChunkTokens = 32
+
+// kvGrowthScale mirrors the allocator's K_SCALE: when a cache must grow,
+// reserve 20% headroom past the requested length so steady token-by-token
+// growth does not reallocate every chunk boundary exactly.
+const kvGrowthScale = 1.2
+
+// KVCache is one generation request's self-attention key/value store: per
+// layer, a contiguous [tokens, hidden] K and V region. The backing buffers
+// are drawn from the simulated device (internal/allocator), so per-request
+// KV footprint and reallocation traffic show up in the same Snapshot
+// counters the paper's Figures 11–12 track for activations.
+//
+// Capacity is sequence-length-aware: a session opens with room for its
+// expected total length (prompt-proportional, like the paper's zh→en ≈1:1
+// heuristic), so the common case never reallocates mid-generation.
+type KVCache struct {
+	dev    *allocator.Device
+	hidden int
+	k, v   []*allocator.Buffer // one per layer
+	length int                 // tokens currently stored
+	capTok int                 // token capacity of every buffer
+}
+
+// roundUpTokens applies the growth policy: headroom-scaled and rounded to
+// the chunk granularity.
+func roundUpTokens(need int) int {
+	scaled := int(float64(need) * kvGrowthScale)
+	if scaled < need {
+		scaled = need
+	}
+	return (scaled + KVChunkTokens - 1) / KVChunkTokens * KVChunkTokens
+}
+
+// NewKVCache reserves device-accounted K/V storage for layers decoder
+// layers with the given hidden size, sized for expectTokens total tokens.
+func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) *KVCache {
+	if layers <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("model: invalid KV cache geometry layers=%d hidden=%d", layers, hidden))
+	}
+	if expectTokens < 1 {
+		expectTokens = 1
+	}
+	c := &KVCache{dev: dev, hidden: hidden, capTok: roundUpTokens(expectTokens)}
+	bytes := int64(c.capTok) * int64(hidden) * 4
+	for l := 0; l < layers; l++ {
+		c.k = append(c.k, dev.Malloc(bytes))
+		c.v = append(c.v, dev.Malloc(bytes))
+	}
+	return c
+}
+
+// Len returns the number of tokens stored.
+func (c *KVCache) Len() int { return c.length }
+
+// CapTokens returns the current token capacity.
+func (c *KVCache) CapTokens() int { return c.capTok }
+
+// Bytes returns the cache's total device footprint.
+func (c *KVCache) Bytes() int64 {
+	var total int64
+	for _, b := range c.k {
+		total += b.Size
+	}
+	for _, b := range c.v {
+		total += b.Size
+	}
+	return total
+}
+
+// grow reallocates every layer's buffers to hold at least need tokens,
+// copying live rows. The Malloc/Free pair is visible in the device's
+// traffic counters, exactly like a chunk reallocation in Algorithm 1.
+func (c *KVCache) grow(need int) {
+	newCap := roundUpTokens(need)
+	bytes := int64(newCap) * int64(c.hidden) * 4
+	liveFloats := c.length * c.hidden
+	for l := range c.k {
+		nk := c.dev.Malloc(bytes)
+		nv := c.dev.Malloc(bytes)
+		copy(nk.Data()[:liveFloats], c.k[l].Data()[:liveFloats])
+		copy(nv.Data()[:liveFloats], c.v[l].Data()[:liveFloats])
+		c.dev.Free(c.k[l])
+		c.dev.Free(c.v[l])
+		c.k[l], c.v[l] = nk, nv
+	}
+	c.capTok = newCap
+}
+
+// AppendRow stores one token's K and V rows for the given layer at the
+// next position. Every layer must append exactly once per step, then
+// Advance commits the token.
+func (c *KVCache) AppendRow(layer int, kRow, vRow []float32) {
+	if len(kRow) != c.hidden || len(vRow) != c.hidden {
+		panic(fmt.Sprintf("model: KV row size %d/%d, want %d", len(kRow), len(vRow), c.hidden))
+	}
+	if c.length+1 > c.capTok {
+		c.grow(c.length + 1)
+	}
+	off := c.length * c.hidden
+	copy(c.k[layer].Data()[off:off+c.hidden], kRow)
+	copy(c.v[layer].Data()[off:off+c.hidden], vRow)
+}
+
+// Advance commits the row appended to every layer this step.
+func (c *KVCache) Advance() { c.length++ }
+
+// K returns layer l's keys as a contiguous [tokens, hidden] slice covering
+// tokens rows (tokens may include the row appended but not yet advanced).
+func (c *KVCache) K(l, tokens int) []float32 { return c.k[l].Data()[:tokens*c.hidden] }
+
+// V returns layer l's values, like K.
+func (c *KVCache) V(l, tokens int) []float32 { return c.v[l].Data()[:tokens*c.hidden] }
+
+// Free returns all buffers to the device (request evicted or finished).
+func (c *KVCache) Free() {
+	for l := range c.k {
+		c.dev.Free(c.k[l])
+		c.dev.Free(c.v[l])
+	}
+	c.k, c.v = nil, nil
+	c.length, c.capTok = 0, 0
+}

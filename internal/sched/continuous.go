@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// GenRequest is one queued generation request: unlike the one-shot Request,
+// its device-time footprint grows as it decodes, so the continuous
+// scheduler tracks both the prompt it arrives with and the token budget it
+// may consume.
+type GenRequest struct {
+	ID        int64
+	PromptLen int     // prompt tokens (encoder-side cost, cross-attention width)
+	MaxNew    int     // generation budget (worst-case KV length)
+	Arrival   float64 // arrival time in seconds (virtual or wall)
+	// Payload carries application data through the scheduler untouched.
+	Payload interface{}
+}
+
+// ContinuousScheduler performs iteration-level (continuous) batching for
+// autoregressive generation: instead of partitioning a closed queue into
+// batches that run start-to-finish, it admits requests into the running set
+// between decode iterations and evicts them the moment they finish, so a
+// short completion never waits for a long batch-mate and new arrivals never
+// wait for a whole batch to retire.
+//
+// Admission is FCFS under two sequence-length-aware limits:
+//
+//   - MaxBatch concurrent sequences (GEMM row height per iteration), and
+//   - TokenBudget, a cap on the sum of worst-case context lengths
+//     (PromptLen+MaxNew) across running requests — the KV-cache footprint
+//     guard. Reserving the worst case up front means an admitted request
+//     can always run to completion without mid-flight eviction.
+//
+// All methods are safe for concurrent use.
+type ContinuousScheduler struct {
+	MaxBatch    int // max concurrent sequences (default 8)
+	TokenBudget int // cap on Σ reserved tokens; 0 = unlimited
+
+	// Cancelled, when non-nil, reports a queued request as abandoned.
+	// Admit discards such requests instead of admitting them, so a dead
+	// request at the FCFS head cannot block live ones behind it while its
+	// reservation would not fit. Set before the first Admit call.
+	Cancelled func(*GenRequest) bool
+
+	mu       sync.Mutex
+	queue    []*GenRequest
+	running  map[int64]*GenRequest
+	reserved map[int64]int // worst-case tokens reserved per running request
+	tokens   int           // Σ reserved
+}
+
+// NewContinuousScheduler builds a scheduler with the given limits.
+func NewContinuousScheduler(maxBatch, tokenBudget int) *ContinuousScheduler {
+	if maxBatch < 1 {
+		maxBatch = 8
+	}
+	return &ContinuousScheduler{
+		MaxBatch:    maxBatch,
+		TokenBudget: tokenBudget,
+		running:     map[int64]*GenRequest{},
+		reserved:    map[int64]int{},
+	}
+}
+
+// reserve returns the worst-case token reservation for a request.
+func reserve(r *GenRequest) int {
+	n := r.PromptLen + r.MaxNew
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Enqueue adds a request to the admission queue.
+func (s *ContinuousScheduler) Enqueue(r *GenRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, r)
+}
+
+// Admit moves as many queued requests as fit into the running set and
+// returns them. Called by the serving loop between decode iterations.
+// FCFS: a request that does not fit blocks everything behind it, so
+// completion order stays fair under overload.
+func (s *ContinuousScheduler) Admit() []*GenRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var admitted []*GenRequest
+	for len(s.queue) > 0 && len(s.running) < s.MaxBatch {
+		r := s.queue[0]
+		if s.Cancelled != nil && s.Cancelled(r) {
+			s.queue = s.queue[1:]
+			continue
+		}
+		need := reserve(r)
+		if s.TokenBudget > 0 && len(s.running) > 0 && s.tokens+need > s.TokenBudget {
+			break
+		}
+		s.queue = s.queue[1:]
+		s.running[r.ID] = r
+		s.reserved[r.ID] = need
+		s.tokens += need
+		admitted = append(admitted, r)
+	}
+	return admitted
+}
+
+// Evict removes a finished (or cancelled) request from the running set,
+// returning its token reservation to the budget. Evicting an unknown ID
+// panics — it is a bookkeeping bug in the serving loop.
+func (s *ContinuousScheduler) Evict(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.running[id]; !ok {
+		panic(fmt.Sprintf("sched: evict of unknown request %d", id))
+	}
+	s.tokens -= s.reserved[id]
+	delete(s.running, id)
+	delete(s.reserved, id)
+}
+
+// RunningCount returns the current concurrent-sequence count.
+func (s *ContinuousScheduler) RunningCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.running)
+}
+
+// QueueLen returns the number of requests waiting for admission.
+func (s *ContinuousScheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// ReservedTokens returns the budget currently held by running requests.
+func (s *ContinuousScheduler) ReservedTokens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tokens
+}
+
+// Idle reports whether nothing is queued or running.
+func (s *ContinuousScheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) == 0 && len(s.running) == 0
+}
+
+// Drain empties the admission queue, returning the dropped requests
+// (server shutdown: fail them without running).
+func (s *ContinuousScheduler) Drain() []*GenRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := s.queue
+	s.queue = nil
+	return dropped
+}

@@ -1,0 +1,353 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Detokenize maps generated token IDs back to text. Tokens in the byte
+// range invert Tokenize exactly (when the vocabulary covers it); anything
+// else — small demo vocabularies, or generated IDs beyond the byte range
+// that no real input maps to — folds into printable ASCII so streams stay
+// readable instead of wrapping into control bytes. Special tokens are
+// dropped.
+func Detokenize(toks []int, vocab int) string {
+	out := make([]byte, 0, len(toks))
+	for _, t := range toks {
+		if t < 3 {
+			continue
+		}
+		if vocab-3 >= 256 && t-3 < 256 {
+			out = append(out, byte(t-3))
+		} else {
+			out = append(out, byte(32+(t-3)%95))
+		}
+	}
+	return string(out)
+}
+
+// genEvent is one update on a generation stream.
+type genEvent struct {
+	tok  int
+	done bool
+	err  error
+}
+
+// queuedGen is one in-flight generation request.
+type queuedGen struct {
+	tokens  []int
+	maxNew  int
+	arrival time.Time
+	// events is buffered for the full token budget plus the terminal
+	// event, so the decode loop never blocks on a slow (or gone) client.
+	events chan genEvent
+	// cancelled is set by the handler when the client goes away; the
+	// decode loop evicts the request at the next iteration boundary so a
+	// dead client does not hold a batch slot or its token reservation.
+	cancelled atomic.Bool
+}
+
+// liveGen pairs an admitted request with its decode session.
+type liveGen struct {
+	id   int64
+	req  *queuedGen
+	sess *model.GenSession
+}
+
+// genServer is the continuous-batching generation half of Server: a
+// ContinuousScheduler gating admission and one decode loop that advances
+// every live session a token at a time, admitting and evicting between
+// iterations (iteration-level batching, in contrast to the classifier
+// path's whole-batch scheduling).
+type genServer struct {
+	engine        *core.GenEngine
+	sched         *sched.ContinuousScheduler
+	defaultMaxNew int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	nextID int64
+
+	requests  atomic.Int64
+	tokensOut atomic.Int64
+	stepsRun  atomic.Int64
+	peakBatch atomic.Int64
+}
+
+func newGenServer(engine *core.GenEngine, maxBatch, tokenBudget, defaultMaxNew int) *genServer {
+	if defaultMaxNew < 1 {
+		defaultMaxNew = 32
+	}
+	gs := &genServer{
+		engine:        engine,
+		sched:         sched.NewContinuousScheduler(maxBatch, tokenBudget),
+		defaultMaxNew: defaultMaxNew,
+	}
+	gs.sched.Cancelled = func(r *sched.GenRequest) bool {
+		return r.Payload.(*queuedGen).cancelled.Load()
+	}
+	gs.cond = sync.NewCond(&gs.mu)
+	go gs.worker()
+	return gs
+}
+
+// submit queues a generation request for the decode loop.
+func (gs *genServer) submit(q *queuedGen) error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		return fmt.Errorf("serving: server closed")
+	}
+	gs.nextID++
+	gs.sched.Enqueue(&sched.GenRequest{
+		ID:        gs.nextID,
+		PromptLen: len(q.tokens),
+		MaxNew:    q.maxNew,
+		Arrival:   float64(q.arrival.UnixNano()) / 1e9,
+		Payload:   q,
+	})
+	gs.cond.Signal()
+	return nil
+}
+
+func (gs *genServer) close() {
+	gs.mu.Lock()
+	gs.closed = true
+	gs.mu.Unlock()
+	gs.cond.Broadcast()
+}
+
+// worker is the continuous-batching decode loop. Each turn: admit whatever
+// fits, run ONE decode iteration across all live sessions, deliver each
+// new token, and evict finished sessions — so requests join and leave at
+// token granularity.
+func (gs *genServer) worker() {
+	var live []*liveGen
+
+	fail := func(q *queuedGen, err error) {
+		q.events <- genEvent{err: err}
+	}
+
+	for {
+		gs.mu.Lock()
+		for gs.sched.Idle() && len(live) == 0 && !gs.closed {
+			gs.cond.Wait()
+		}
+		closed := gs.closed
+		gs.mu.Unlock()
+		if closed {
+			for _, r := range gs.sched.Drain() {
+				fail(r.Payload.(*queuedGen), fmt.Errorf("serving: server closed"))
+			}
+			for _, lg := range live {
+				gs.sched.Evict(lg.id)
+				lg.sess.Close()
+				fail(lg.req, fmt.Errorf("serving: server closed"))
+			}
+			return
+		}
+
+		// Eviction of abandoned requests happens at iteration boundaries,
+		// before admission frees up against the batch and token limits.
+		kept := live[:0]
+		for _, lg := range live {
+			if lg.req.cancelled.Load() {
+				gs.sched.Evict(lg.id)
+				lg.sess.Close()
+				continue
+			}
+			kept = append(kept, lg)
+		}
+		live = kept
+
+		// Admission: start sessions for everything the scheduler lets in.
+		// The prompt encode runs here, between iterations, exactly like a
+		// prefill slot.
+		for _, r := range gs.sched.Admit() {
+			q := r.Payload.(*queuedGen)
+			if q.cancelled.Load() {
+				gs.sched.Evict(r.ID)
+				continue
+			}
+			sess, err := gs.engine.StartSession(r.ID, q.tokens, q.maxNew)
+			if err != nil {
+				gs.sched.Evict(r.ID)
+				fail(q, err)
+				continue
+			}
+			live = append(live, &liveGen{id: r.ID, req: q, sess: sess})
+		}
+		if len(live) == 0 {
+			continue
+		}
+
+		// One decode iteration over the ragged batch.
+		sessions := make([]*model.GenSession, len(live))
+		for i, lg := range live {
+			sessions[i] = lg.sess
+		}
+		toks, err := gs.engine.Step(sessions)
+		if err != nil {
+			for _, lg := range live {
+				gs.sched.Evict(lg.id)
+				lg.sess.Close()
+				fail(lg.req, err)
+			}
+			live = nil
+			continue
+		}
+		gs.stepsRun.Add(1)
+		gs.tokensOut.Add(int64(len(live)))
+		for prev := gs.peakBatch.Load(); int64(len(live)) > prev; prev = gs.peakBatch.Load() {
+			if gs.peakBatch.CompareAndSwap(prev, int64(len(live))) {
+				break
+			}
+		}
+
+		alive := live[:0]
+		for i, lg := range live {
+			lg.req.events <- genEvent{tok: toks[i]}
+			if lg.sess.Done() {
+				gs.sched.Evict(lg.id)
+				lg.sess.Close()
+				lg.req.events <- genEvent{done: true}
+				continue
+			}
+			alive = append(alive, lg)
+		}
+		live = alive
+	}
+}
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	Text         string `json:"text"`
+	MaxNewTokens int    `json:"max_new_tokens"`
+	Stream       bool   `json:"stream"`
+}
+
+// generateResponse is the aggregate (non-streaming) reply.
+type generateResponse struct {
+	Tokens       []int   `json:"tokens"`
+	Text         string  `json:"text"`
+	PromptTokens int     `json:"prompt_tokens"`
+	LatencyMS    float64 `json:"latency_ms"`
+}
+
+// streamChunk is one NDJSON line of a streaming reply. A terminal chunk
+// has Done set; a failed generation additionally carries Error (headers
+// are already written by then, so HTTP status cannot signal it).
+type streamChunk struct {
+	Token     int     `json:"token,omitempty"`
+	Text      string  `json:"text,omitempty"`
+	Done      bool    `json:"done,omitempty"`
+	Tokens    int     `json:"tokens,omitempty"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if s.gen == nil {
+		http.Error(w, "generation not enabled on this server", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
+		http.Error(w, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}", http.StatusBadRequest)
+		return
+	}
+	gs := s.gen
+	gs.requests.Add(1)
+	maxNew := req.MaxNewTokens
+	if maxNew <= 0 {
+		maxNew = gs.defaultMaxNew
+	}
+	if limit := gs.engine.DecCfg.MaxTargetLen; maxNew > limit {
+		maxNew = limit
+	}
+	start := time.Now()
+	q := &queuedGen{
+		tokens:  Tokenize(req.Text, gs.engine.Cfg.Vocab),
+		maxNew:  maxNew,
+		arrival: start,
+		events:  make(chan genEvent, maxNew+2),
+	}
+	if err := gs.submit(q); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	// A client disconnect marks the request cancelled; the decode loop
+	// evicts it at the next iteration boundary instead of generating the
+	// rest of the budget into the void.
+	clientGone := r.Context().Done()
+	vocab := gs.engine.DecCfg.Vocab
+	if !req.Stream {
+		var toks []int
+		for {
+			select {
+			case ev := <-q.events:
+				if ev.err != nil {
+					http.Error(w, ev.err.Error(), http.StatusInternalServerError)
+					return
+				}
+				if ev.done {
+					writeJSON(w, generateResponse{
+						Tokens:       toks,
+						Text:         Detokenize(toks, vocab),
+						PromptTokens: len(q.tokens),
+						LatencyMS:    float64(time.Since(start)) / 1e6,
+					})
+					return
+				}
+				toks = append(toks, ev.tok)
+			case <-clientGone:
+				q.cancelled.Store(true)
+				return
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		select {
+		case ev := <-q.events:
+			if ev.err != nil {
+				// Headers are already out; deliver the error as a chunk.
+				_ = enc.Encode(streamChunk{Done: true, Tokens: n, Error: ev.err.Error()})
+				return
+			}
+			if ev.done {
+				_ = enc.Encode(streamChunk{Done: true, Tokens: n, LatencyMS: float64(time.Since(start)) / 1e6})
+				return
+			}
+			n++
+			if err := enc.Encode(streamChunk{Token: ev.tok, Text: Detokenize([]int{ev.tok}, vocab)}); err != nil {
+				q.cancelled.Store(true)
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-clientGone:
+			q.cancelled.Store(true)
+			return
+		}
+	}
+}

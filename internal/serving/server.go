@@ -50,6 +50,7 @@ type Server struct {
 	maxBatch    int
 	batchWindow time.Duration
 	cache       *ResponseCache
+	gen         *genServer // nil unless generation is enabled
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -71,6 +72,17 @@ type ServerConfig struct {
 	// request arrives, wait up to this long for companions before
 	// scheduling (a full batch fires immediately). Zero means hungry.
 	BatchWindow time.Duration
+
+	// GenEngine enables the /v1/generate continuous-batching path.
+	GenEngine *core.GenEngine
+	// GenMaxBatch caps concurrent decode sequences (default: MaxBatch).
+	GenMaxBatch int
+	// GenTokenBudget caps the summed worst-case context length across
+	// running generations (KV-footprint guard; 0 = unlimited).
+	GenTokenBudget int
+	// GenDefaultMaxNew is the token budget used when a request does not
+	// set max_new_tokens (default 32).
+	GenDefaultMaxNew int
 }
 
 // NewServer builds the serving framework and starts its batching worker.
@@ -93,6 +105,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.CacheSize > 0 {
 		s.cache = NewResponseCache(cfg.CacheSize)
 	}
+	if cfg.GenEngine != nil {
+		genBatch := cfg.GenMaxBatch
+		if genBatch < 1 {
+			genBatch = cfg.MaxBatch
+		}
+		s.gen = newGenServer(cfg.GenEngine, genBatch, cfg.GenTokenBudget, cfg.GenDefaultMaxNew)
+	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.worker()
 	return s, nil
@@ -108,6 +127,9 @@ func (s *Server) Close() {
 	s.queue = nil
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	if s.gen != nil {
+		s.gen.close()
+	}
 }
 
 // worker drains the queue whenever it is non-empty, optionally lingering
@@ -203,12 +225,19 @@ type statsResponse struct {
 	BatchesRun int64 `json:"batches_run"`
 	CacheHits  int64 `json:"cache_hits"`
 	CacheMiss  int64 `json:"cache_misses"`
+
+	// Continuous-batching generation counters (zero unless enabled).
+	GenRequests  int64 `json:"gen_requests"`
+	GenTokens    int64 `json:"gen_tokens"`
+	GenSteps     int64 `json:"gen_steps"`
+	GenPeakBatch int64 `json:"gen_peak_batch"`
 }
 
 // Handler returns the HTTP mux for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
@@ -267,13 +296,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		hits, misses = s.cache.Stats()
 	}
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Served:     s.served.Load(),
 		Requests:   s.requestsSeen.Load(),
 		BatchesRun: s.batchesRun.Load(),
 		CacheHits:  hits,
 		CacheMiss:  misses,
-	})
+	}
+	if s.gen != nil {
+		resp.GenRequests = s.gen.requests.Load()
+		resp.GenTokens = s.gen.tokensOut.Load()
+		resp.GenSteps = s.gen.stepsRun.Load()
+		resp.GenPeakBatch = s.gen.peakBatch.Load()
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

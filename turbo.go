@@ -146,6 +146,31 @@ type (
 // NewServer starts the serving framework's batching worker.
 func NewServer(cfg ServerConfig) (*Server, error) { return serving.NewServer(cfg) }
 
+// Continuous-batching generation (iteration-level scheduling on top of the
+// paper's request-level Algorithm 2).
+type (
+	// GenEngine is the generation runtime: prompt encoder plus the
+	// session-based incremental decoder behind /v1/generate.
+	GenEngine = core.GenEngine
+	// GenRequest is one queued generation request.
+	GenRequest = sched.GenRequest
+	// ContinuousScheduler admits and evicts generation requests between
+	// decode iterations.
+	ContinuousScheduler = sched.ContinuousScheduler
+)
+
+// NewGenEngine builds the generation runtime (encoder + decoder sharing
+// one accounted device).
+func NewGenEngine(encCfg, decCfg Config, opts Options) (*GenEngine, error) {
+	return core.NewGenEngine(encCfg, decCfg, opts)
+}
+
+// NewContinuousScheduler returns an iteration-level scheduler with the
+// given concurrency and KV token budget.
+func NewContinuousScheduler(maxBatch, tokenBudget int) *ContinuousScheduler {
+	return sched.NewContinuousScheduler(maxBatch, tokenBudget)
+}
+
 // GPU latency model (for capacity planning and the experiments).
 type (
 	// Profile is a runtime latency profile.
