@@ -42,6 +42,10 @@ func BenchmarkTable4ServingLatency(b *testing.B)     { benchExperiment(b, "table
 func BenchmarkFig16ServingThroughputTC(b *testing.B) { benchExperiment(b, "fig16") }
 func BenchmarkTable5ServingLatencyTC(b *testing.B)   { benchExperiment(b, "table5") }
 
+// BenchmarkVarLengthPackedEncoder regenerates the padded-vs-packed
+// variable-length comparison (the zero-padding execution path).
+func BenchmarkVarLengthPackedEncoder(b *testing.B) { benchExperiment(b, "var-length") }
+
 // Extras the paper describes in prose (§4.2 motivation, §4.2 alternatives,
 // §5 multi-server balancing).
 func BenchmarkExtraAllocStall(b *testing.B)    { benchExperiment(b, "extra-allocstall") }

@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "weight seed")
 	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
 	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
+	packed := flag.Bool("packed", false, "run the zero-padding (packed) engine: ragged batches, no padding FLOPs, token-based batch scheduling")
 	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
 	genTokenBudget := flag.Int("gen-token-budget", 0, "cap on summed worst-case context tokens across running generations (0 = unlimited)")
@@ -43,45 +44,61 @@ func main() {
 	flag.Parse()
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
-	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: *seed, Classes: *classes})
+	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: *seed, Classes: *classes, Packed: *packed})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Warm-up phase (§6.3): reload a persisted dictionary if present,
-	// otherwise measure real engine latency over the sampled parameter
-	// space and let Algorithm 2 interpolate.
-	var cost *turbo.CachedCost
-	if *costFile != "" {
-		if loaded, err := turbo.LoadCost(*costFile); err == nil {
-			cost = loaded
-			log.Printf("reloaded cost dictionary from %s", *costFile)
+	// Warm-up phase (§6.3): measure real engine latency over the sampled
+	// parameter space. price runs one uniform (seqLen, batch) inference.
+	price := func(seqLen, batch int) time.Duration {
+		toks := make([][]int, batch)
+		for i := range toks {
+			row := make([]int, seqLen)
+			for j := range row {
+				row[j] = 3 + (i*31+j*7)%(cfg.Vocab-3)
+			}
+			toks[i] = row
 		}
+		start := time.Now()
+		if _, _, err := engine.Encode(toks); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		return time.Since(start)
 	}
-	if cost == nil {
-		log.Printf("warming up cost dictionary (maxLen=%d, maxBatch=%d)...", *maxLen, *maxBatch)
-		cost = turbo.WarmupCost(func(seqLen, batch int) time.Duration {
-			toks := make([][]int, batch)
-			for i := range toks {
-				row := make([]int, seqLen)
-				for j := range row {
-					row[j] = 3 + (i*31+j*7)%(cfg.Vocab-3)
-				}
-				toks[i] = row
-			}
-			start := time.Now()
-			if _, _, err := engine.Encode(toks); err != nil {
-				log.Fatalf("warmup: %v", err)
-			}
-			return time.Since(start)
-		}, *maxLen, *maxBatch, *maxLen/8)
+
+	var cost turbo.CostModel
+	if *packed {
+		// Packed engine: fit the token-based cost so the DP scheduler
+		// prices mixed-length batches by work actually done, not by
+		// batch·maxLen (the dictionary form cannot express ragged batches,
+		// so the cost file does not apply here).
+		log.Printf("warming up token cost (packed engine, maxLen=%d, maxBatch=%d)...", *maxLen, *maxBatch)
+		tc := turbo.WarmupTokenCost(price, *maxLen, *maxBatch, *maxLen/8)
+		log.Printf("token cost ready: fixed=%.0fns perToken=%.1fns perTok²=%.3fns", tc.Fixed, tc.PerToken, tc.PerSqToken)
+		cost = tc
+	} else {
+		// Padded engine: reload a persisted dictionary if present,
+		// otherwise sweep and let Algorithm 2 interpolate.
+		var cached *turbo.CachedCost
 		if *costFile != "" {
-			if err := turbo.SaveCost(cost, *costFile); err != nil {
-				log.Printf("warning: could not persist cost dictionary: %v", err)
-			} else {
-				log.Printf("persisted cost dictionary to %s", *costFile)
+			if loaded, err := turbo.LoadCost(*costFile); err == nil {
+				cached = loaded
+				log.Printf("reloaded cost dictionary from %s", *costFile)
 			}
 		}
+		if cached == nil {
+			log.Printf("warming up cost dictionary (maxLen=%d, maxBatch=%d)...", *maxLen, *maxBatch)
+			cached = turbo.WarmupCost(price, *maxLen, *maxBatch, *maxLen/8)
+			if *costFile != "" {
+				if err := turbo.SaveCost(cached, *costFile); err != nil {
+					log.Printf("warning: could not persist cost dictionary: %v", err)
+				} else {
+					log.Printf("persisted cost dictionary to %s", *costFile)
+				}
+			}
+		}
+		cost = cached
 	}
 	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
 

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchSmoke is the CI wiring guard (run alone as
+// `go test -run TestBenchSmoke ./internal/bench`): every registered
+// experiment must resolve through the registry, and the var-length
+// experiment must run end-to-end on a tiny geometry — so the packed-vs-
+// padded harness can't silently rot between full benchmark runs.
+func TestBenchSmoke(t *testing.T) {
+	for _, e := range All() {
+		got, ok := ByID(e.ID)
+		if !ok || got.Run == nil || got.Title == "" {
+			t.Fatalf("experiment %s does not resolve through the registry", e.ID)
+		}
+	}
+
+	var buf bytes.Buffer
+	tiny := varLengthParams{hidden: 16, heads: 2, inter: 32, layers: 1, batch: 4, maxLen: 12, reps: 1}
+	if err := runVarLengthWith(&buf, tiny); err != nil {
+		t.Fatalf("var-length (tiny): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"uniform", "short-skewed", "bimodal", "speedup", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("var-length output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("packed path diverged from the padded oracle:\n%s", out)
+	}
+}
+
+// TestVarLengthExperiment runs the full-size artefact (skipped in -short
+// CI where TestBenchSmoke covers the wiring) and enforces the headline
+// claim: ≥1.5× on the short-skewed distribution, bit-identical oracle.
+func TestVarLengthExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "var-length")
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("packed path diverged from the padded oracle:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("short-skewed speedup below target:\n%s", out)
+	}
+}

@@ -1,0 +1,63 @@
+package blas
+
+import "fmt"
+
+// StridedBatch describes one group of a grouped strided-batched GEMM: Count
+// equally-shaped problems laid out at fixed strides. Grouping problems with
+// different shapes into one call is what variable-length (packed) attention
+// needs — each request contributes one group of `heads` GEMMs whose m/n/k
+// depend on that request's length, so no problem is ever padded to a batch
+// maximum. This is the pure-Go analogue of cublasGemmGroupedBatchedEx.
+type StridedBatch struct {
+	M, N, K int
+	A       []float32
+	Lda     int
+	StrideA int
+	B       []float32
+	Ldb     int
+	StrideB int
+	C       []float32
+	Ldc     int
+	StrideC int
+	Count   int
+}
+
+// GroupedStridedBatchedGemm performs, for every group g and every batch
+// index i in [0, g.Count):
+//
+//	C_gi = alpha * op(A_gi) * op(B_gi) + beta * C_gi
+//
+// with A_gi = g.A[i*g.StrideA:], etc. All groups share the transpose flags
+// and scalars; shapes vary per group. Problems run in parallel across the
+// flattened (group, batch) space.
+func GroupedStridedBatchedGemm(transA, transB bool, alpha, beta float32, groups []StridedBatch) {
+	// starts[g] = flattened index of group g's first problem.
+	starts := make([]int, len(groups)+1)
+	for g, grp := range groups {
+		if grp.Count < 0 {
+			panic(fmt.Sprintf("blas: group %d has negative count %d", g, grp.Count))
+		}
+		if grp.StrideA < 0 || grp.StrideB < 0 || grp.StrideC < 0 {
+			panic(fmt.Sprintf("blas: group %d has a negative stride", g))
+		}
+		starts[g+1] = starts[g] + grp.Count
+	}
+	runBatches(starts[len(groups)], func(fi int) {
+		// Find the owning group: starts[g] <= fi < starts[g+1].
+		g := 0
+		for starts[g+1] <= fi {
+			g++
+		}
+		grp := &groups[g]
+		i := fi - starts[g]
+		a := grp.A[i*grp.StrideA:]
+		b := grp.B[i*grp.StrideB:]
+		c := grp.C[i*grp.StrideC:]
+		checkGemmArgs(transA, transB, grp.M, grp.N, grp.K, a, grp.Lda, b, grp.Ldb, c, grp.Ldc)
+		scaleC(beta, c, grp.M, grp.N, grp.Ldc)
+		if grp.K == 0 || alpha == 0 || grp.M == 0 || grp.N == 0 {
+			return
+		}
+		gemmBlock(transA, transB, 0, grp.M, grp.N, grp.K, alpha, a, grp.Lda, b, grp.Ldb, c, grp.Ldc)
+	})
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/allocator"
 	"repro/internal/model"
@@ -54,6 +55,11 @@ type Options struct {
 	// with FP32 accumulation (§6.2.1's "minimal and acceptable precision
 	// loss").
 	TensorCore bool
+	// Packed selects the zero-padding execution path: mixed-length batches
+	// run as ragged [totalTokens, hidden] blocks with per-request attention,
+	// so no FLOP is ever spent on a padding row and no mask exists. The
+	// padded path remains available as the reference oracle.
+	Packed bool
 }
 
 // Engine is a ready-to-serve transformer model: tokeniser-facing embedding,
@@ -64,7 +70,43 @@ type Engine struct {
 	Encoder    *model.Encoder
 	Classifier *model.Classifier
 
-	dev *allocator.Device
+	dev    *allocator.Device
+	packed bool
+
+	// Padding-waste accounting: rows of real work vs rows a padded
+	// execution added on top (zero when the packed path runs — padding
+	// never exists there).
+	tokensProcessed atomic.Int64
+	tokensPadded    atomic.Int64
+	packedBatches   atomic.Int64
+}
+
+// TokenCounters reports the engine's cumulative padding-waste accounting:
+// real tokens processed, padding rows executed (always zero on the packed
+// path), and the number of batches served by the packed path.
+func (e *Engine) TokenCounters() (processed, padded, packedBatches int64) {
+	return e.tokensProcessed.Load(), e.tokensPadded.Load(), e.packedBatches.Load()
+}
+
+// PackedEnabled reports whether the engine runs the zero-padding path.
+func (e *Engine) PackedEnabled() bool { return e.packed }
+
+// countBatch updates the token counters for one executed batch; packedRun
+// says which path actually ran it.
+func (e *Engine) countBatch(batchTokens [][]int, packedRun bool) {
+	total, maxLen := 0, 0
+	for _, toks := range batchTokens {
+		total += len(toks)
+		if len(toks) > maxLen {
+			maxLen = len(toks)
+		}
+	}
+	e.tokensProcessed.Add(int64(total))
+	if packedRun {
+		e.packedBatches.Add(1)
+	} else {
+		e.tokensPadded.Add(int64(len(batchTokens)*maxLen - total))
+	}
 }
 
 // NewEngine builds an engine for the given model configuration.
@@ -89,6 +131,7 @@ func NewEngine(cfg model.Config, opts Options) (*Engine, error) {
 		Embedding: model.NewEmbedding(cfg, opts.Seed+500),
 		Encoder:   enc,
 		dev:       dev,
+		packed:    opts.Packed,
 	}
 	if opts.Classes > 0 {
 		e.Classifier = model.NewClassifier(cfg.Hidden, opts.Classes, opts.Seed+900)
@@ -97,8 +140,18 @@ func NewEngine(cfg model.Config, opts Options) (*Engine, error) {
 }
 
 // Encode embeds and encodes a batch of token sequences, returning the final
-// hidden states [batch, maxLen, hidden] plus per-request lengths.
+// hidden states [batch, maxLen, hidden] plus per-request lengths. On a
+// packed engine the computation runs ragged end-to-end and is only
+// scattered into the padded layout at the boundary, for callers that need
+// the dense block; use EncodePacked to stay ragged.
 func (e *Engine) Encode(batchTokens [][]int) (*tensor.Tensor, []int, error) {
+	if e.packed {
+		out, err := e.EncodePacked(batchTokens)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out.ToPadded(), out.Lens(), nil
+	}
 	hidden, seqLens, err := e.Embedding.Encode(batchTokens)
 	if err != nil {
 		return nil, nil, err
@@ -107,13 +160,37 @@ func (e *Engine) Encode(batchTokens [][]int) (*tensor.Tensor, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	e.countBatch(batchTokens, false)
 	return out, seqLens, nil
+}
+
+// EncodePacked embeds and encodes a batch through the zero-padding path,
+// returning the ragged final hidden states. It works on any engine; a
+// packed engine's Encode/Classify route through it.
+func (e *Engine) EncodePacked(batchTokens [][]int) (*tensor.Packed, error) {
+	hidden, err := e.Embedding.EncodePacked(batchTokens)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := e.Encoder.ForwardPacked(hidden)
+	if err != nil {
+		return nil, err
+	}
+	e.countBatch(batchTokens, true)
+	return out, nil
 }
 
 // Classify runs the full pipeline and returns one class per request.
 func (e *Engine) Classify(batchTokens [][]int) ([]int, error) {
 	if e.Classifier == nil {
 		return nil, fmt.Errorf("core: engine built without a classification head")
+	}
+	if e.packed {
+		hidden, err := e.EncodePacked(batchTokens)
+		if err != nil {
+			return nil, err
+		}
+		return e.Classifier.PredictPacked(hidden)
 	}
 	hidden, _, err := e.Encode(batchTokens)
 	if err != nil {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestPackedEngineMatchesPaddedEngine: two engines with identical weights —
+// one padded (the oracle), one packed — must classify every fuzzed
+// mixed-length batch identically, and the packed engine must report zero
+// padded tokens.
+func TestPackedEngineMatchesPaddedEngine(t *testing.T) {
+	cfg := model.BertBase().Scaled(32, 4, 64, 2)
+	padded, err := NewEngine(cfg, Options{Seed: 7, Classes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewEngine(cfg, Options{Seed: 7, Classes: 4, Packed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.PackedEnabled() || !packed.PackedEnabled() {
+		t.Fatal("PackedEnabled flags wrong")
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	var wantTokens int64
+	for trial := 0; trial < 8; trial++ {
+		batch := make([][]int, 1+rng.Intn(5))
+		for i := range batch {
+			toks := make([]int, 1+rng.Intn(20))
+			for j := range toks {
+				toks[j] = rng.Intn(cfg.Vocab)
+			}
+			batch[i] = toks
+			wantTokens += int64(len(toks))
+		}
+		cPad, err := padded.Classify(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cPack, err := packed.Classify(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cPad {
+			if cPad[i] != cPack[i] {
+				t.Fatalf("trial %d request %d: packed class %d != padded %d",
+					trial, i, cPack[i], cPad[i])
+			}
+		}
+	}
+
+	processed, paddedToks, packedBatches := packed.TokenCounters()
+	if processed != wantTokens || paddedToks != 0 || packedBatches != 8 {
+		t.Fatalf("packed counters processed=%d padded=%d batches=%d, want %d/0/8",
+			processed, paddedToks, packedBatches, wantTokens)
+	}
+	oProcessed, oPadded, oPackedBatches := padded.TokenCounters()
+	if oProcessed != wantTokens || oPackedBatches != 0 {
+		t.Fatalf("padded counters processed=%d packedBatches=%d, want %d/0",
+			oProcessed, oPackedBatches, wantTokens)
+	}
+	if oPadded <= 0 {
+		t.Fatalf("padded engine reported %d padded tokens on mixed-length batches", oPadded)
+	}
+}
+
+// TestPackedEngineEncodeReturnsPaddedLayout: Encode on a packed engine
+// still honours its dense [batch, maxLen, hidden] contract, with padding
+// rows exactly zero.
+func TestPackedEngineEncodeReturnsPaddedLayout(t *testing.T) {
+	cfg := model.BertBase().Scaled(16, 2, 32, 1)
+	eng, err := NewEngine(cfg, Options{Seed: 1, Packed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, lens, err := eng.Encode([][]int{{5, 6, 7}, {9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 2 || out.Dim(1) != 3 || out.Dim(2) != cfg.Hidden {
+		t.Fatalf("shape %v", out.Shape())
+	}
+	if lens[0] != 3 || lens[1] != 1 {
+		t.Fatalf("lens %v", lens)
+	}
+	for s := 1; s < 3; s++ {
+		for h := 0; h < cfg.Hidden; h++ {
+			if out.At(1, s, h) != 0 {
+				t.Fatalf("padding row (1,%d) not zero", s)
+			}
+		}
+	}
+}

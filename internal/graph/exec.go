@@ -162,12 +162,13 @@ func (e *Executor) RunWithPlan(input *tensor.Tensor, seqLens []int, plan *alloca
 	return out, nil
 }
 
-func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqLens []int) error {
-	g := e.G
-	H, heads, hd := g.Hidden, g.Heads, g.HeadDim
-	rowsOf := func(id int, cols int) int {
-		return int(g.Tensors[id].Elems.Eval(batch, seq)) / cols
-	}
+// execRowOp executes the ops whose layout is independent of how the batch
+// is laid out — GEMMs, bias, activation, residual, layernorm all see a
+// dense rows×cols matrix whether the rows are padded batch·seq or packed
+// Σ len_i. elems evaluates a tensor's element count at the execution point
+// (padded or packed); the return reports whether the op was handled here.
+func (e *Executor) execRowOp(op *Op, data func(int) []float32, elems func(int) int) (bool, error) {
+	rowsOf := func(id int, cols int) int { return elems(id) / cols }
 
 	switch op.Kind {
 	case OpGemm:
@@ -190,7 +191,7 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 				blas.Gemm(false, false, m, n, k, 1, in, k, e.gemmWeight(wid), n, 0, out[i*n:], op.Attr.N)
 			}
 		default:
-			return fmt.Errorf("fused QKV gemm needs 1 or 3 weights, has %d", len(op.Weights))
+			return true, fmt.Errorf("fused QKV gemm needs 1 or 3 weights, has %d", len(op.Weights))
 		}
 
 	case OpAddBias:
@@ -203,7 +204,7 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 
 	case OpActivation:
 		in, out := data(op.Inputs[0]), data(op.Outputs[0])
-		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		n := elems(op.Outputs[0])
 		copy(out[:n], in[:n])
 		kernels.Act(op.Attr.Act, out[:n])
 
@@ -217,7 +218,7 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 
 	case OpResidualAdd:
 		in, res, out := data(op.Inputs[0]), data(op.Inputs[1]), data(op.Outputs[0])
-		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		n := elems(op.Outputs[0])
 		copy(out[:n], in[:n])
 		kernels.AddResidual(out[:n], res[:n])
 
@@ -237,6 +238,21 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 		copy(out[:rows*n], in[:rows*n])
 		kernels.AddBiasLayerNorm(out, res, bias, gamma, beta, rows, n, 1e-5)
 
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqLens []int) error {
+	g := e.G
+	H, heads, hd := g.Hidden, g.Heads, g.HeadDim
+	elems := func(id int) int { return int(g.Tensors[id].Elems.Eval(batch, seq)) }
+	if handled, err := e.execRowOp(op, data, elems); handled {
+		return err
+	}
+
+	switch op.Kind {
 	case OpTransposeForScore:
 		in, out := data(op.Inputs[0]), data(op.Outputs[0])
 		kernels.AddBiasTransposeForScore(in, e.zeroBias, batch, seq, heads, hd, out)
@@ -264,7 +280,7 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 
 	case OpSoftmax:
 		in, out := data(op.Inputs[0]), data(op.Outputs[0])
-		n := int(g.Tensors[op.Outputs[0]].Elems.Eval(batch, seq))
+		n := elems(op.Outputs[0])
 		copy(out[:n], in[:n])
 		scale := float32(1 / math.Sqrt(float64(hd)))
 		kernels.MaskedScaledSoftmax(out, batch, heads, seq, seq, scale, seqLens)

@@ -324,6 +324,12 @@ func (g *Graph) Validate() error {
 // live from their producer to their last consumer; the graph output lives
 // to the final op.
 func (g *Graph) UsageRecords(batch, seq int) []allocator.UsageRecord {
+	return g.usageRecords(func(e DimExpr) int64 { return e.Eval(batch, seq) })
+}
+
+// usageRecords walks lifetimes once; size evaluates each tensor's symbolic
+// element count at the execution point (padded or packed).
+func (g *Graph) usageRecords(size func(DimExpr) int64) []allocator.UsageRecord {
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic(fmt.Sprintf("graph %s: UsageRecords on invalid graph: %v", g.Name, err))
@@ -356,7 +362,7 @@ func (g *Graph) UsageRecords(batch, seq int) []allocator.UsageRecord {
 			Name:     t.Name,
 			FirstOp:  first,
 			LastOp:   last,
-			Size:     t.Elems.Eval(batch, seq) * 4,
+			Size:     size(t.Elems) * 4,
 		})
 	}
 	return records

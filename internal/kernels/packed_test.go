@@ -1,0 +1,150 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// raggedCase builds a random mixed-length batch and both layouts of the
+// same data: padded [batch, maxLen, width] (padding rows zero) and packed
+// [total, width].
+type raggedCase struct {
+	lens    []int
+	offs    []int
+	maxLen  int
+	total   int
+	batch   int
+	padded  []float32
+	packedD []float32
+}
+
+func newRaggedCase(rng *rand.Rand, batch, maxLen, width int) *raggedCase {
+	c := &raggedCase{batch: batch, maxLen: maxLen, offs: make([]int, batch+1)}
+	for i := 0; i < batch; i++ {
+		n := 1 + rng.Intn(maxLen)
+		c.lens = append(c.lens, n)
+		c.offs[i+1] = c.offs[i] + n
+	}
+	c.total = c.offs[batch]
+	c.padded = make([]float32, batch*maxLen*width)
+	c.packedD = make([]float32, c.total*width)
+	for b, n := range c.lens {
+		for s := 0; s < n; s++ {
+			for w := 0; w < width; w++ {
+				v := rng.Float32()*2 - 1
+				c.padded[(b*maxLen+s)*width+w] = v
+				c.packedD[(c.offs[b]+s)*width+w] = v
+			}
+		}
+	}
+	return c
+}
+
+// TestPackedSplitAddBiasTransposeMatchesPadded: the packed split kernel must
+// place exactly the values the padded kernel computes, request block by
+// request block.
+func TestPackedSplitAddBiasTransposeMatchesPadded(t *testing.T) {
+	const heads, headDim = 3, 4
+	hidden := heads * headDim
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		c := newRaggedCase(rng, 1+rng.Intn(5), 1+rng.Intn(9), 3*hidden)
+		bias := make([]float32, 3*hidden)
+		for i := range bias {
+			bias[i] = rng.Float32()
+		}
+		qP := make([]float32, c.batch*c.maxLen*hidden)
+		kP := make([]float32, c.batch*c.maxLen*hidden)
+		vP := make([]float32, c.batch*c.maxLen*hidden)
+		SplitAddBiasTransposeForScore(c.padded, bias, c.batch, c.maxLen, heads, headDim, qP, kP, vP)
+		q := make([]float32, c.total*hidden)
+		k := make([]float32, c.total*hidden)
+		v := make([]float32, c.total*hidden)
+		PackedSplitAddBiasTransposeForScore(c.packedD, bias, c.lens, c.offs, heads, headDim, q, k, v)
+
+		for which, pair := range [3][2][]float32{{qP, q}, {kP, k}, {vP, v}} {
+			pad, pk := pair[0], pair[1]
+			for b, n := range c.lens {
+				for h := 0; h < heads; h++ {
+					for s := 0; s < n; s++ {
+						for d := 0; d < headDim; d++ {
+							got := pk[(c.offs[b]*heads+h*n+s)*headDim+d]
+							want := pad[((b*heads+h)*c.maxLen+s)*headDim+d]
+							if got != want {
+								t.Fatalf("trial %d tensor %d (b=%d h=%d s=%d d=%d): packed %g != padded %g",
+									trial, which, b, h, s, d, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedTransposeBackInvertsSplit: transpose-back of the packed
+// per-head layout must reproduce the packed hidden rows.
+func TestPackedTransposeBackInvertsSplit(t *testing.T) {
+	const heads, headDim = 2, 5
+	hidden := heads * headDim
+	rng := rand.New(rand.NewSource(8))
+	c := newRaggedCase(rng, 4, 7, hidden)
+	zero := make([]float32, hidden)
+	perHead := make([]float32, c.total*hidden)
+	PackedAddBiasTransposeForScore(c.packedD, zero, c.lens, c.offs, heads, headDim, perHead)
+	back := make([]float32, c.total*hidden)
+	PackedTransposeBack(perHead, c.lens, c.offs, heads, headDim, back)
+	for i := range back {
+		if back[i] != c.packedD[i] {
+			t.Fatalf("element %d: %g != %g", i, back[i], c.packedD[i])
+		}
+	}
+}
+
+// TestPackedScaledSoftmaxMatchesMasked: on the same score values, the
+// packed softmax (no mask — padding never exists) must bit-match the padded
+// kernel's masked softmax over every valid row prefix.
+func TestPackedScaledSoftmaxMatchesMasked(t *testing.T) {
+	const heads = 3
+	scale := float32(1 / math.Sqrt(7))
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		batch, maxLen := 1+rng.Intn(4), 1+rng.Intn(10)
+		lens := make([]int, batch)
+		sqOffs := make([]int, batch+1)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(maxLen)
+			sqOffs[i+1] = sqOffs[i] + lens[i]*lens[i]
+		}
+		padded := make([]float32, batch*heads*maxLen*maxLen)
+		packed := make([]float32, heads*sqOffs[batch])
+		for b, n := range lens {
+			for h := 0; h < heads; h++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						v := rng.Float32()*4 - 2
+						padded[((b*heads+h)*maxLen+i)*maxLen+j] = v
+						packed[heads*sqOffs[b]+(h*n+i)*n+j] = v
+					}
+				}
+			}
+		}
+		MaskedScaledSoftmax(padded, batch, heads, maxLen, maxLen, scale, lens)
+		PackedScaledSoftmax(packed, lens, sqOffs, heads, scale)
+		for b, n := range lens {
+			for h := 0; h < heads; h++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						got := packed[heads*sqOffs[b]+(h*n+i)*n+j]
+						want := padded[((b*heads+h)*maxLen+i)*maxLen+j]
+						if got != want {
+							t.Fatalf("trial %d (b=%d h=%d i=%d j=%d): packed %g != padded %g",
+								trial, b, h, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

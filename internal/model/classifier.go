@@ -45,6 +45,32 @@ func (c *Classifier) Logits(hidden *tensor.Tensor) (*tensor.Tensor, error) {
 	for b := 0; b < batch; b++ {
 		copy(cls.Data()[b*c.Hidden:(b+1)*c.Hidden], hidden.Data()[b*seq*c.Hidden:b*seq*c.Hidden+c.Hidden])
 	}
+	return c.logitsFromCLS(cls)
+}
+
+// LogitsPacked pools each request's [CLS] row out of a packed batch
+// (request i's first row sits at Offset(i) — no stride arithmetic over a
+// padded maxLen) and returns class logits [batch, classes]. The head's
+// GEMMs are row-wise, so the result is bit-identical to Logits on the
+// padded layout.
+func (c *Classifier) LogitsPacked(hidden *tensor.Packed) (*tensor.Tensor, error) {
+	if hidden.Cols() != c.Hidden {
+		return nil, fmt.Errorf("model: packed classifier input width %d, want %d",
+			hidden.Cols(), c.Hidden)
+	}
+	batch := hidden.Batch()
+	cls := tensor.New(batch, c.Hidden)
+	for b := 0; b < batch; b++ {
+		src := hidden.Data().Data()[hidden.Offset(b)*c.Hidden : (hidden.Offset(b)+1)*c.Hidden]
+		copy(cls.Data()[b*c.Hidden:(b+1)*c.Hidden], src)
+	}
+	return c.logitsFromCLS(cls)
+}
+
+// logitsFromCLS runs the pooled [batch, hidden] CLS rows through the tanh
+// dense layer and the output projection.
+func (c *Classifier) logitsFromCLS(cls *tensor.Tensor) (*tensor.Tensor, error) {
+	batch := cls.Dim(0)
 	pooled := tensor.New(batch, c.Hidden)
 	blas.Gemm(false, false, batch, c.Hidden, c.Hidden, 1,
 		cls.Data(), c.Hidden, c.PoolW.Data(), c.Hidden, 0, pooled.Data(), c.Hidden)
@@ -63,10 +89,23 @@ func (c *Classifier) Predict(hidden *tensor.Tensor) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	return argmaxRows(logits, c.Classes), nil
+}
+
+// PredictPacked returns the argmax class per request of a packed batch.
+func (c *Classifier) PredictPacked(hidden *tensor.Packed) ([]int, error) {
+	logits, err := c.LogitsPacked(hidden)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(logits, c.Classes), nil
+}
+
+func argmaxRows(logits *tensor.Tensor, classes int) []int {
 	batch := logits.Dim(0)
 	out := make([]int, batch)
 	for b := 0; b < batch; b++ {
-		row := logits.Data()[b*c.Classes : (b+1)*c.Classes]
+		row := logits.Data()[b*classes : (b+1)*classes]
 		best := 0
 		for i, v := range row {
 			if v > row[best] {
@@ -75,5 +114,5 @@ func (c *Classifier) Predict(hidden *tensor.Tensor) ([]int, error) {
 		}
 		out[b] = best
 	}
-	return out, nil
+	return out
 }

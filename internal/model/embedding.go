@@ -84,3 +84,42 @@ func (e *Embedding) Encode(batchTokens [][]int) (*tensor.Tensor, []int, error) {
 	}
 	return out, seqLens, nil
 }
+
+// EncodePacked embeds a batch of token ID sequences into the zero-padding
+// layout: requests laid out back-to-back as [totalTokens, hidden]. No
+// padding row is ever written, so downstream kernels need no length mask.
+// Every sequence must be non-empty — a ragged batch has no padding row for
+// an empty request to hide behind.
+func (e *Embedding) EncodePacked(batchTokens [][]int) (*tensor.Packed, error) {
+	if len(batchTokens) == 0 {
+		return nil, fmt.Errorf("model: empty batch")
+	}
+	seqLens := make([]int, len(batchTokens))
+	for i, toks := range batchTokens {
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("model: packed request %d is empty", i)
+		}
+		seqLens[i] = len(toks)
+	}
+	out := tensor.NewPacked(seqLens, e.Hidden)
+	pos := make([]float32, e.Hidden)
+	for b, toks := range batchTokens {
+		base := out.Offset(b)
+		for s, tok := range toks {
+			if tok < 0 || tok >= e.Vocab {
+				return nil, fmt.Errorf("model: token %d outside vocab [0,%d)", tok, e.Vocab)
+			}
+			row := out.Data().Data()[(base+s)*e.Hidden : (base+s+1)*e.Hidden]
+			copy(row, e.Word.Data()[tok*e.Hidden:(tok+1)*e.Hidden])
+			positionEncoding(s, e.Hidden, pos)
+			for i := range row {
+				row[i] += pos[i]
+			}
+		}
+	}
+	// One LayerNorm over all real rows — bit-identical to the padded path's
+	// per-request normalisation because the kernel is row-wise.
+	kernels.LayerNorm(out.Data().Data(), e.Gamma.Data(), e.Beta.Data(),
+		out.TotalTokens(), e.Hidden, 1e-5)
+	return out, nil
+}

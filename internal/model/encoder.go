@@ -88,6 +88,32 @@ func (e *Encoder) Forward(hidden *tensor.Tensor, seqLens []int) (*tensor.Tensor,
 	return x, stats, nil
 }
 
+// ForwardPacked runs the full encoder stack on a packed (zero-padding)
+// batch. The memory plan is keyed on the batch's true token totals —
+// Σ len_i and Σ len_i² — rather than batch·maxLen, and is still planned
+// once and reused across all layers.
+func (e *Encoder) ForwardPacked(hidden *tensor.Packed) (*tensor.Packed, EncoderStats, error) {
+	records := e.Graph.UsageRecordsPacked(hidden.Lens())
+	planStart := time.Now()
+	plan := e.alloc.Plan(records)
+	stats := EncoderStats{
+		PlanTime:       time.Since(planStart),
+		FootprintBytes: plan.FootprintBytes(),
+	}
+	if err := allocator.Validate(plan, records); err != nil {
+		return nil, stats, fmt.Errorf("model %s: invalid packed plan from %s: %w", e.Cfg.Name, e.alloc.Name(), err)
+	}
+	x := hidden
+	for l, ex := range e.execs {
+		out, err := ex.RunPackedWithPlan(x, plan)
+		if err != nil {
+			return nil, stats, fmt.Errorf("layer %d (packed): %w", l, err)
+		}
+		x = out
+	}
+	return x, stats, nil
+}
+
 // NumLayers returns the stack depth.
 func (e *Encoder) NumLayers() int { return len(e.execs) }
 

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/allocator"
+	"repro/internal/tensor"
+)
+
+// fuzzBatch draws a mixed-length token batch.
+func fuzzBatch(rng *rand.Rand, vocab int) [][]int {
+	batch := 1 + rng.Intn(6)
+	out := make([][]int, batch)
+	for i := range out {
+		n := 1 + rng.Intn(24)
+		toks := make([]int, n)
+		for j := range toks {
+			toks[j] = rng.Intn(vocab)
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+// TestEncodePackedMatchesPadded: the packed embedding must write exactly
+// the rows the padded embedding writes, with no padding rows at all.
+func TestEncodePackedMatchesPadded(t *testing.T) {
+	cfg := BertBase().Scaled(32, 4, 64, 1)
+	emb := NewEmbedding(cfg, 3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		batch := fuzzBatch(rng, cfg.Vocab)
+		padded, lens, err := emb.Encode(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := emb.EncodePacked(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tensor.PackPadded(padded, lens)
+		if d := packed.Data().MaxAbsDiff(want.Data()); d != 0 {
+			t.Fatalf("trial %d: packed embedding diverges, maxdiff=%g", trial, d)
+		}
+	}
+}
+
+// TestPackedClassifierBitIdentical is the end-to-end property of the
+// zero-padding path (embedding → encoder stack → classification head):
+// across fuzzed batches of mixed lengths, packed and padded execution must
+// produce bit-identical logits — not merely close — because every packed
+// kernel performs the same floating-point operations in the same order on
+// each valid row, and the rows that differ are exactly the padding rows
+// that only the padded path computes.
+func TestPackedClassifierBitIdentical(t *testing.T) {
+	cfg := BertBase().Scaled(32, 4, 64, 2)
+	const classes = 5
+	for _, fused := range []bool{true, false} {
+		enc, err := NewEncoder(cfg, 11, allocator.NewTurbo(allocator.NewDevice()), fused)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb := NewEmbedding(cfg, 12)
+		head := NewClassifier(cfg.Hidden, classes, 13)
+		rng := rand.New(rand.NewSource(14))
+		for trial := 0; trial < 12; trial++ {
+			batch := fuzzBatch(rng, cfg.Vocab)
+
+			paddedIn, lens, err := emb.Encode(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paddedHidden, _, err := enc.Forward(paddedIn, lens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paddedLogits, err := head.Logits(paddedHidden)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			packedIn, err := emb.EncodePacked(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packedHidden, _, err := enc.ForwardPacked(packedIn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packedLogits, err := head.LogitsPacked(packedHidden)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if d := packedLogits.MaxAbsDiff(paddedLogits); d != 0 {
+				t.Fatalf("fused=%v trial %d: packed logits diverge from padded, maxdiff=%g",
+					fused, trial, d)
+			}
+		}
+	}
+}
+
+// TestEncodePackedRejectsEmptySequence: the ragged layout has no padding
+// row for an empty request, so it must be rejected up front.
+func TestEncodePackedRejectsEmptySequence(t *testing.T) {
+	emb := NewEmbedding(BertBase().Scaled(16, 2, 32, 1), 1)
+	if _, err := emb.EncodePacked([][]int{{1, 2}, {}}); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := emb.EncodePacked(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package reduction
+
+import (
+	"sort"
+
+	"repro/internal/cudasim"
+)
+
+// TimeSoftmaxPacked prices the attention softmax of a packed (zero-padding)
+// batch on the simulated GPU: request i contributes heads·len_i rows of
+// len_i columns — its own [heads, len_i, len_i] score block — instead of
+// heads·maxLen rows of maxLen columns. The packed kernel is a single
+// launch whose blocks cover rows of different lengths (each block reads
+// its request's length from the offset table), so the model prices each
+// distinct-length row group with the simulator and schedules their blocks
+// as one grid: blocks from different groups share a wave up to the
+// device's block concurrency (a wave lasts as long as its slowest block),
+// bytes moved add up, and the launch is paid once. The padded counterpart
+// for the same batch is TimeSoftmax(dev, impl, batch·heads·maxLen, maxLen).
+func TimeSoftmaxPacked(dev *cudasim.Device, impl SoftmaxImpl, lens []int, heads int) cudasim.Result {
+	// Group requests by length: blocks of equal shape are priced together.
+	count := make(map[int]int)
+	var distinct []int
+	for _, n := range lens {
+		if count[n] == 0 {
+			distinct = append(distinct, n)
+		}
+		count[n]++
+	}
+	sort.Ints(distinct)
+
+	cfg := dev.Config()
+	type groupBlocks struct {
+		blocks      int
+		blockCycles int64
+	}
+	groups := make([]groupBlocks, 0, len(distinct))
+	total := cudasim.Result{Kernel: "softmax-packed"}
+	var launch int64
+	for _, n := range distinct {
+		rows := count[n] * heads * n
+		r := TimeSoftmax(dev, impl, rows, n)
+		groups = append(groups, groupBlocks{gridFor(cfg, rows, n).blocks, r.BlockCycles})
+		total.MemoryCycles += r.MemoryCycles
+		// Recover this shape's launch overhead (Cycles = launch +
+		// max(compute, mem)); all groups share one real launch, so keep
+		// the largest.
+		if l := r.Cycles - maxI64(r.ComputeCycles, r.MemoryCycles); l > launch {
+			launch = l
+		}
+	}
+
+	// Wave-pack the combined grid: slowest blocks first, so the group that
+	// opens a wave sets its duration and everything packed behind it rides
+	// along — blocks of different lengths run concurrently instead of one
+	// sub-launch after another.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].blockCycles > groups[j].blockCycles })
+	concurrent := cfg.NumSMs * cfg.BlocksPerSM
+	capacity := 0
+	for _, g := range groups {
+		blocks := g.blocks
+		for blocks > 0 {
+			if capacity == 0 {
+				total.ComputeCycles += g.blockCycles
+				capacity = concurrent
+			}
+			take := blocks
+			if take > capacity {
+				take = capacity
+			}
+			blocks -= take
+			capacity -= take
+		}
+	}
+
+	total.Cycles = launch + maxI64(total.ComputeCycles, total.MemoryCycles)
+	total.Seconds = cfg.CyclesToSeconds(total.Cycles)
+	return total
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TimeLayerNormPacked prices a packed batch's LayerNorm: the kernel is
+// row-wise, so the packed variant is simply the padded kernel over
+// Σ len_i rows instead of batch·maxLen — one launch, fewer rows.
+func TimeLayerNormPacked(dev *cudasim.Device, impl LayerNormImpl, lens []int, hidden int) cudasim.Result {
+	rows := 0
+	for _, n := range lens {
+		rows += n
+	}
+	return TimeLayerNorm(dev, impl, rows, hidden)
+}

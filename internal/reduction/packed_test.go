@@ -1,0 +1,47 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/cudasim"
+)
+
+// TestTimeSoftmaxPackedUniformEqualsPadded: when every request has the same
+// length there is nothing to pack away, so the packed launch must cost
+// exactly the padded launch.
+func TestTimeSoftmaxPackedUniformEqualsPadded(t *testing.T) {
+	dev := cudasim.NewDevice(cudasim.TeslaV100())
+	const heads, n, batch = 12, 64, 8
+	lens := make([]int, batch)
+	for i := range lens {
+		lens[i] = n
+	}
+	packed := TimeSoftmaxPacked(dev, SoftmaxTurbo, lens, heads)
+	padded := TimeSoftmax(dev, SoftmaxTurbo, batch*heads*n, n)
+	if packed.Cycles != padded.Cycles {
+		t.Fatalf("uniform packed %d cycles != padded %d", packed.Cycles, padded.Cycles)
+	}
+}
+
+// TestTimeSoftmaxPackedSkewedCheaper: a skewed batch's packed score blocks
+// are far smaller than the padded [batch, heads, maxLen, maxLen] tensor,
+// so the packed launch must be strictly cheaper; layernorm likewise over
+// Σ len_i rows.
+func TestTimeSoftmaxPackedSkewedCheaper(t *testing.T) {
+	dev := cudasim.NewDevice(cudasim.TeslaV100())
+	const heads = 12
+	lens := []int{8, 8, 8, 8, 8, 8, 8, 256} // one straggler pads 7 requests ×32
+	maxLen, batch := 256, len(lens)
+
+	packedSoft := TimeSoftmaxPacked(dev, SoftmaxTurbo, lens, heads)
+	paddedSoft := TimeSoftmax(dev, SoftmaxTurbo, batch*heads*maxLen, maxLen)
+	if packedSoft.Cycles >= paddedSoft.Cycles {
+		t.Fatalf("packed softmax %d cycles not below padded %d", packedSoft.Cycles, paddedSoft.Cycles)
+	}
+
+	packedLN := TimeLayerNormPacked(dev, LayerNormTurbo, lens, 768)
+	paddedLN := TimeLayerNorm(dev, LayerNormTurbo, batch*maxLen, 768)
+	if packedLN.Cycles >= paddedLN.Cycles {
+		t.Fatalf("packed layernorm %d cycles not below padded %d", packedLN.Cycles, paddedLN.Cycles)
+	}
+}

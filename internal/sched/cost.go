@@ -12,10 +12,25 @@ import (
 	"time"
 )
 
-// CostModel prices executing one batch of batchSize requests padded to
-// seqLen. Algorithm 2 minimises the sum of these over a partition.
+// CostModel prices executing one batch of batchSize requests on the padded
+// engine, where every member is zero-padded to seqLen and the work done is
+// proportional to batchSize·seqLen regardless of the true lengths.
+// Algorithm 2 minimises the sum of these over a partition.
 type CostModel interface {
 	BatchCost(seqLen, batchSize int) time.Duration
+}
+
+// TokenCostModel extends CostModel for the packed (zero-padding) engine,
+// whose work depends only on the tokens actually present: Σ len_i rows
+// through the GEMMs and Σ len_i² attention-score elements, never
+// batch·maxLen. Pricing batches this way changes which batches the DP
+// scheduler forms — mixing a short request into a long batch no longer
+// costs maxLen tokens — so the scheduler consults BatchCostTokens whenever
+// its cost model provides it.
+type TokenCostModel interface {
+	CostModel
+	// BatchCostTokens prices one packed batch by its true token totals.
+	BatchCostTokens(totalTokens, sumSqTokens int64, batchSize int) time.Duration
 }
 
 // CostFunc adapts a plain function to CostModel.
@@ -29,6 +44,12 @@ func (f CostFunc) BatchCost(seqLen, batchSize int) time.Duration { return f(seqL
 // sampled sparsely ("if the parameter space is large, we sample ... and use
 // the interpolation method", §6.3); lookups interpolate linearly between
 // sampled lengths.
+//
+// The tabulated (seqLen, batchSize) form assumes the padded engine, where
+// those two numbers determine the work. When the packed engine is active,
+// run the same warm-up sweep through FitTokenCost instead: the resulting
+// TokenCost prices mixed-length batches by their true token totals, which
+// this table cannot express.
 type CachedCost struct {
 	lens     []int // sorted sampled lengths
 	maxBatch int

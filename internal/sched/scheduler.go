@@ -14,17 +14,29 @@ type Request struct {
 	Payload interface{}
 }
 
-// Batch is a scheduled group of requests executed together, padded to the
-// longest member.
+// Batch is a scheduled group of requests executed together. On the padded
+// engine every member is zero-padded to PaddedLen; on the packed engine the
+// batch runs ragged and PaddedLen only records the longest member.
 type Batch struct {
 	Requests  []*Request
 	PaddedLen int
+	// TotalTokens is the sum of the members' true lengths — the packed
+	// engine's actual work.
+	TotalTokens int
 	// Predicted is the cost model's estimate for this batch.
 	Predicted time.Duration
 }
 
 // Size returns the number of requests in the batch.
 func (b Batch) Size() int { return len(b.Requests) }
+
+func totalTokens(requests []*Request) int {
+	t := 0
+	for _, r := range requests {
+		t += r.Length
+	}
+	return t
+}
 
 // Scheduler partitions a set of queued requests into batches.
 type Scheduler interface {
@@ -50,9 +62,10 @@ func (s *NoBatchScheduler) Schedule(requests []*Request) []Batch {
 	batches := make([]Batch, 0, len(requests))
 	for _, r := range requests {
 		batches = append(batches, Batch{
-			Requests:  []*Request{r},
-			PaddedLen: r.Length,
-			Predicted: s.Cost.BatchCost(r.Length, 1),
+			Requests:    []*Request{r},
+			PaddedLen:   r.Length,
+			TotalTokens: r.Length,
+			Predicted:   s.Cost.BatchCost(r.Length, 1),
 		})
 	}
 	return batches
@@ -92,9 +105,10 @@ func (s *NaiveScheduler) Schedule(requests []*Request) []Batch {
 			}
 		}
 		batches = append(batches, Batch{
-			Requests:  append([]*Request(nil), group...),
-			PaddedLen: maxLen,
-			Predicted: s.Cost.BatchCost(maxLen, len(group)),
+			Requests:    append([]*Request(nil), group...),
+			PaddedLen:   maxLen,
+			TotalTokens: totalTokens(group),
+			Predicted:   s.Cost.BatchCost(maxLen, len(group)),
 		})
 	}
 	return batches
@@ -106,6 +120,12 @@ func (s *NaiveScheduler) Schedule(requests []*Request) []Batch {
 // requests by length, then dynamic programming over contiguous partitions
 // of the sorted list minimises total execution time (maximising response
 // throughput), in O(n²) — or O(n·MaxBatch) with the batch-size cap.
+//
+// When Cost implements TokenCostModel — the packed engine's cost structure
+// — batches are priced by Σ len_i and Σ len_i² over the candidate range
+// instead of batchSize·maxLen, which changes the partitions the DP picks:
+// padding waste stops being a reason to split, leaving only the per-batch
+// overhead vs. latency trade-off.
 type DPScheduler struct {
 	Cost     CostModel
 	MaxBatch int // 0 = unbounded
@@ -124,13 +144,32 @@ func (s *DPScheduler) Schedule(requests []*Request) []Batch {
 	sorted := append([]*Request(nil), requests...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Length < sorted[j].Length })
 
+	// Token-cost mode: O(1) range work via prefix sums over the sorted list.
+	tokenCost, packed := s.Cost.(TokenCostModel)
+	var tokPfx, sqPfx []int64
+	if packed {
+		tokPfx = make([]int64, n+1)
+		sqPfx = make([]int64, n+1)
+		for i, r := range sorted {
+			l := int64(r.Length)
+			tokPfx[i+1] = tokPfx[i] + l
+			sqPfx[i+1] = sqPfx[i] + l*l
+		}
+	}
+	// rangeCost prices the batch sorted[j-1:i] (1-based DP indices).
+	rangeCost := func(j, i int) time.Duration {
+		if packed {
+			return tokenCost.BatchCostTokens(tokPfx[i]-tokPfx[j-1], sqPfx[i]-sqPfx[j-1], i-j+1)
+		}
+		// Because the list is sorted, a batch ending at i pads to
+		// sorted[i-1].Length regardless of where it starts.
+		return s.Cost.BatchCost(sorted[i-1].Length, i-j+1)
+	}
+
 	const inf = time.Duration(1<<63 - 1)
 	states := make([]time.Duration, n+1) // states[i]: min cost of sorted[0:i]
 	startIdx := make([]int, n+1)
 	for i := 1; i <= n; i++ {
-		// Because the list is sorted, a batch ending at i pads to
-		// sorted[i-1].Length regardless of where it starts.
-		curLen := sorted[i-1].Length
 		best := inf
 		bestStart := i - 1
 		for j := i; j >= 1; j-- {
@@ -138,7 +177,7 @@ func (s *DPScheduler) Schedule(requests []*Request) []Batch {
 			if s.MaxBatch > 0 && size > s.MaxBatch {
 				break
 			}
-			cost := states[j-1] + s.Cost.BatchCost(curLen, size)
+			cost := states[j-1] + rangeCost(j, i)
 			if cost < best {
 				best = cost
 				bestStart = j - 1
@@ -154,9 +193,10 @@ func (s *DPScheduler) Schedule(requests []*Request) []Batch {
 		start := startIdx[i]
 		group := sorted[start:i]
 		batches = append(batches, Batch{
-			Requests:  append([]*Request(nil), group...),
-			PaddedLen: group[len(group)-1].Length,
-			Predicted: s.Cost.BatchCost(group[len(group)-1].Length, len(group)),
+			Requests:    append([]*Request(nil), group...),
+			PaddedLen:   group[len(group)-1].Length,
+			TotalTokens: totalTokens(group),
+			Predicted:   rangeCost(start+1, i),
 		})
 		i = start
 	}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// syntheticPrice models an engine whose batch cost is overhead + work:
+// 50µs launch/planning overhead, 1µs per row, 10ns per score element. On
+// the padded engine a (seqLen, batch) uniform batch does batch·seqLen rows.
+func syntheticPrice(seqLen, batch int) time.Duration {
+	rows := float64(batch * seqLen)
+	sq := float64(batch*seqLen) * float64(seqLen)
+	return time.Duration(50e3 + rows*1e3 + sq*10)
+}
+
+// TestFitTokenCostRecoversCoefficients: the warm-up fit must recover the
+// generating model near-exactly from the sampled sweep.
+func TestFitTokenCostRecoversCoefficients(t *testing.T) {
+	c := FitTokenCost(syntheticPrice, 128, 8, 16)
+	if got := c.Fixed; got < 45e3 || got > 55e3 {
+		t.Fatalf("Fixed = %g, want ≈50e3", got)
+	}
+	if got := c.PerToken; got < 0.95e3 || got > 1.05e3 {
+		t.Fatalf("PerToken = %g, want ≈1e3", got)
+	}
+	if got := c.PerSqToken; got < 9 || got > 11 {
+		t.Fatalf("PerSqToken = %g, want ≈10", got)
+	}
+	// Uniform-batch pricing must agree with the padded table view.
+	want := syntheticPrice(64, 4)
+	got := c.BatchCost(64, 4)
+	if ratio := float64(got) / float64(want); ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("BatchCost(64,4) = %v, want ≈%v", got, want)
+	}
+}
+
+// skewedQueue is the paper's serving shape: mostly short requests with a
+// tail of long ones.
+func skewedQueue() []*Request {
+	var reqs []*Request
+	id := int64(0)
+	add := func(length, count int) {
+		for i := 0; i < count; i++ {
+			reqs = append(reqs, &Request{ID: id, Length: length})
+			id++
+		}
+	}
+	add(8, 12)
+	add(16, 4)
+	add(400, 2)
+	return reqs
+}
+
+// TestDPFormsDifferentBatchesUnderTokenCost is the satellite regression:
+// on a skewed workload the DP scheduler must form *different* batches when
+// the packed engine's token cost is active — and those batches must be
+// better (cheaper in true packed cost) than what the padded cost table
+// makes it pick.
+//
+// Under padded cost, putting an 8-token request next to a 400-token one
+// makes the short request cost 400 tokens, so the DP splits shorts from
+// longs. Under token cost the short request costs 8 tokens wherever it
+// sits, so merging everything into one batch saves the per-batch overhead.
+func TestDPFormsDifferentBatchesUnderTokenCost(t *testing.T) {
+	reqs := skewedQueue()
+
+	paddedCost := BuildCachedCost(syntheticPrice, 512, 32, 32)
+	tokenCost := FitTokenCost(syntheticPrice, 512, 32, 32)
+
+	dpPadded := &DPScheduler{Cost: paddedCost, MaxBatch: 32}
+	dpToken := &DPScheduler{Cost: tokenCost, MaxBatch: 32}
+
+	padSchedule := dpPadded.Schedule(reqs)
+	tokSchedule := dpToken.Schedule(reqs)
+
+	for _, schedule := range [][]Batch{padSchedule, tokSchedule} {
+		covered := 0
+		for _, b := range schedule {
+			covered += b.Size()
+			if b.TotalTokens <= 0 {
+				t.Fatalf("batch missing TotalTokens: %+v", b)
+			}
+		}
+		if covered != len(reqs) {
+			t.Fatalf("schedule covers %d of %d requests", covered, len(reqs))
+		}
+	}
+
+	if len(padSchedule) < 2 {
+		t.Fatalf("padded cost should split shorts from longs, got %d batch(es)", len(padSchedule))
+	}
+	if len(tokSchedule) >= len(padSchedule) {
+		t.Fatalf("token cost formed %d batches, padded %d — expected fewer (padding no longer priced)",
+			len(tokSchedule), len(padSchedule))
+	}
+
+	// The token-cost schedule must be better on the packed engine: price
+	// both schedules with the true token cost and compare.
+	packedPrice := func(batches []Batch) time.Duration {
+		var total time.Duration
+		for _, b := range batches {
+			var tok, sq int64
+			for _, r := range b.Requests {
+				tok += int64(r.Length)
+				sq += int64(r.Length) * int64(r.Length)
+			}
+			total += tokenCost.BatchCostTokens(tok, sq, b.Size())
+		}
+		return total
+	}
+	if pt, pp := packedPrice(tokSchedule), packedPrice(padSchedule); pt > pp {
+		t.Fatalf("token-cost schedule costs %v on the packed engine, padded-cost schedule %v", pt, pp)
+	}
+}
+
+// TestDPTokenCostStillRespectsMaxBatch: the token-cost DP path must honour
+// the batch-size cap exactly like the padded path.
+func TestDPTokenCostStillRespectsMaxBatch(t *testing.T) {
+	tokenCost := FitTokenCost(syntheticPrice, 512, 32, 32)
+	dp := &DPScheduler{Cost: tokenCost, MaxBatch: 4}
+	batches := dp.Schedule(skewedQueue())
+	covered := 0
+	for _, b := range batches {
+		if b.Size() > 4 {
+			t.Fatalf("batch size %d exceeds cap 4", b.Size())
+		}
+		covered += b.Size()
+	}
+	if covered != len(skewedQueue()) {
+		t.Fatalf("covered %d requests", covered)
+	}
+}

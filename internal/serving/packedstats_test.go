@@ -1,0 +1,123 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func statsServer(t *testing.T, packed bool) (*Server, *httptest.Server) {
+	t.Helper()
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2),
+		core.Options{Seed: 1, Classes: 3, Packed: packed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sched.CostFunc(func(l, b int) time.Duration {
+		return time.Duration(l*b) * 10 * time.Microsecond
+	})
+	srv, err := NewServer(ServerConfig{
+		Engine:    engine,
+		Scheduler: &sched.DPScheduler{Cost: cost, MaxBatch: 8},
+		MaxBatch:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// mixedBatch pushes one deterministic two-request mixed-length batch
+// through the server's batch runner (5 and 17 tokens → a padded engine
+// executes 2·17 rows, 12 of them padding).
+func mixedBatch(t *testing.T, srv *Server) {
+	t.Helper()
+	short := &queuedReq{tokens: Tokenize("hello", srv.engine.Cfg.Vocab), resp: make(chan queuedResp, 1)}
+	long := &queuedReq{tokens: Tokenize("a much longer req", srv.engine.Cfg.Vocab), resp: make(chan queuedResp, 1)}
+	b := sched.Batch{
+		Requests: []*sched.Request{
+			{ID: 0, Length: len(short.tokens), Payload: short},
+			{ID: 1, Length: len(long.tokens), Payload: long},
+		},
+		PaddedLen:   len(long.tokens),
+		TotalTokens: len(short.tokens) + len(long.tokens),
+	}
+	srv.runBatch(b)
+	for _, q := range []*queuedReq{short, long} {
+		if r := <-q.resp; r.err != nil {
+			t.Fatal(r.err)
+		}
+	}
+}
+
+func fetchStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStatsPaddingWasteCounters: a padded server must report the padding
+// rows it executed; a packed server must report zero — padding never
+// exists on that path — plus the packed-batch count. Both see the same 22
+// real tokens.
+func TestStatsPaddingWasteCounters(t *testing.T) {
+	srvPadded, tsPadded := statsServer(t, false)
+	mixedBatch(t, srvPadded)
+	got := fetchStats(t, tsPadded.URL)
+	if got.TokensProcessed != 22 {
+		t.Fatalf("padded tokens_processed = %d, want 22", got.TokensProcessed)
+	}
+	if got.TokensPadded != 12 {
+		t.Fatalf("padded tokens_padded = %d, want 12 (2·17 − 22)", got.TokensPadded)
+	}
+	if want := 12.0 / 34.0; got.PaddingWaste != want {
+		t.Fatalf("padding_waste = %g, want %g", got.PaddingWaste, want)
+	}
+	if got.PackedBatches != 0 {
+		t.Fatalf("padded server reports %d packed batches", got.PackedBatches)
+	}
+
+	srvPacked, tsPacked := statsServer(t, true)
+	mixedBatch(t, srvPacked)
+	got = fetchStats(t, tsPacked.URL)
+	if got.TokensProcessed != 22 || got.TokensPadded != 0 || got.PaddingWaste != 0 {
+		t.Fatalf("packed stats processed=%d padded=%d waste=%g, want 22/0/0",
+			got.TokensProcessed, got.TokensPadded, got.PaddingWaste)
+	}
+	if got.PackedBatches != 1 {
+		t.Fatalf("packed_batches = %d, want 1", got.PackedBatches)
+	}
+}
+
+// TestPackedServerEndToEnd: the live HTTP path over a packed engine must
+// classify identically to the padded oracle server.
+func TestPackedServerEndToEnd(t *testing.T) {
+	_, tsPadded := statsServer(t, false)
+	_, tsPacked := statsServer(t, true)
+	for _, text := range []string{"x", "zero padding", "a considerably longer request body"} {
+		want := classify(t, tsPadded.URL, text)
+		got := classify(t, tsPacked.URL, text)
+		if got.Class != want.Class {
+			t.Fatalf("text %q: packed class %d != padded %d", text, got.Class, want.Class)
+		}
+	}
+}

@@ -60,6 +60,14 @@ type Server struct {
 	served       atomic.Int64
 	batchesRun   atomic.Int64
 	requestsSeen atomic.Int64
+
+	// Padding-waste accounting per executed batch: real tokens vs padding
+	// rows the engine computed (zero on the packed path, where padding
+	// never materialises — the counter that makes the zero-padding win
+	// visible in a serving run).
+	tokensProcessed atomic.Int64
+	tokensPadded    atomic.Int64
+	packedBatches   atomic.Int64
 }
 
 // ServerConfig configures NewServer.
@@ -181,6 +189,12 @@ func (s *Server) runBatch(b sched.Batch) {
 	for i, r := range b.Requests {
 		tokens[i] = r.Payload.(*queuedReq).tokens
 	}
+	s.tokensProcessed.Add(int64(b.TotalTokens))
+	if s.engine.PackedEnabled() {
+		s.packedBatches.Add(1)
+	} else {
+		s.tokensPadded.Add(int64(b.Size()*b.PaddedLen - b.TotalTokens))
+	}
 	classes, err := s.engine.Classify(tokens)
 	for i, r := range b.Requests {
 		q := r.Payload.(*queuedReq)
@@ -225,6 +239,15 @@ type statsResponse struct {
 	BatchesRun int64 `json:"batches_run"`
 	CacheHits  int64 `json:"cache_hits"`
 	CacheMiss  int64 `json:"cache_misses"`
+
+	// Zero-padding accounting: real tokens classified, padding rows the
+	// engine executed on top (always 0 when the packed path is active),
+	// the waste fraction padded/(padded+processed), and how many batches
+	// ran through the packed path.
+	TokensProcessed int64   `json:"tokens_processed"`
+	TokensPadded    int64   `json:"tokens_padded"`
+	PaddingWaste    float64 `json:"padding_waste"`
+	PackedBatches   int64   `json:"packed_batches"`
 
 	// Continuous-batching generation counters (zero unless enabled).
 	GenRequests  int64 `json:"gen_requests"`
@@ -297,11 +320,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		hits, misses = s.cache.Stats()
 	}
 	resp := statsResponse{
-		Served:     s.served.Load(),
-		Requests:   s.requestsSeen.Load(),
-		BatchesRun: s.batchesRun.Load(),
-		CacheHits:  hits,
-		CacheMiss:  misses,
+		Served:          s.served.Load(),
+		Requests:        s.requestsSeen.Load(),
+		BatchesRun:      s.batchesRun.Load(),
+		CacheHits:       hits,
+		CacheMiss:       misses,
+		TokensProcessed: s.tokensProcessed.Load(),
+		TokensPadded:    s.tokensPadded.Load(),
+		PackedBatches:   s.packedBatches.Load(),
+	}
+	if t := resp.TokensProcessed + resp.TokensPadded; t > 0 {
+		resp.PaddingWaste = float64(resp.TokensPadded) / float64(t)
 	}
 	if s.gen != nil {
 		resp.GenRequests = s.gen.requests.Load()

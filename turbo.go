@@ -103,6 +103,11 @@ type (
 	CostFunc = sched.CostFunc
 	// CachedCost is the warm-up-built cost dictionary.
 	CachedCost = sched.CachedCost
+	// TokenCostModel prices packed batches by true token totals; the DP
+	// scheduler uses it automatically when its cost model provides it.
+	TokenCostModel = sched.TokenCostModel
+	// TokenCost is the fitted three-term token cost of the packed engine.
+	TokenCost = sched.TokenCost
 )
 
 // NewDPScheduler returns the paper's DP batch scheduler over a cost model.
@@ -125,6 +130,15 @@ func NewNoBatchScheduler(cost CostModel) Scheduler {
 // dictionary Algorithm 2 consults.
 func WarmupCost(price func(seqLen, batchSize int) time.Duration, maxLen, maxBatch, lenStride int) *CachedCost {
 	return sched.BuildCachedCost(price, maxLen, maxBatch, lenStride)
+}
+
+// WarmupTokenCost runs the warm-up sweep for a packed (zero-padding)
+// engine: the same sampled (length, batch) grid as WarmupCost, fitted to
+// the three-term token cost (overhead + per-token + per-token²) so
+// Algorithm 2 can price mixed-length batches by the work the packed engine
+// actually does.
+func WarmupTokenCost(price func(seqLen, batchSize int) time.Duration, maxLen, maxBatch, lenStride int) *TokenCost {
+	return sched.FitTokenCost(price, maxLen, maxBatch, lenStride)
 }
 
 // SaveCost persists a warm-up dictionary to disk; LoadCost restores it —

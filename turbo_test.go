@@ -59,7 +59,7 @@ func TestFacadeSchedulers(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := turbo.Experiments()
-	if len(ids) != 20 { // 16 paper artefacts + gen-serving + 3 extras
+	if len(ids) != 21 { // 16 paper artefacts + gen-serving + var-length + 3 extras
 		t.Fatalf("experiments: %v", ids)
 	}
 	var buf bytes.Buffer
