@@ -41,6 +41,7 @@ func main() {
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
 	genTokenBudget := flag.Int("gen-token-budget", 0, "cap on summed worst-case context tokens across running generations (0 = unlimited)")
 	genMaxNew := flag.Int("gen-max-new", 32, "default max_new_tokens for /v1/generate")
+	genPerRow := flag.Bool("gen-per-row", false, "decode with the per-row reference attention instead of the grouped ragged kernels (bit-identical oracle, for debugging/benchmarks)")
 	flag.Parse()
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
@@ -111,7 +112,7 @@ func main() {
 	}
 	if *generate {
 		decCfg := turbo.Seq2SeqDecoder().Scaled(*hidden, *heads, 4**hidden, *layers)
-		genEngine, err := turbo.NewGenEngine(cfg, decCfg, turbo.Options{Seed: *seed + 1})
+		genEngine, err := turbo.NewGenEngine(cfg, decCfg, turbo.Options{Seed: *seed + 1, PerRowDecode: *genPerRow})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,7 +120,12 @@ func main() {
 		serverCfg.GenMaxBatch = *genMaxBatch
 		serverCfg.GenTokenBudget = *genTokenBudget
 		serverCfg.GenDefaultMaxNew = *genMaxNew
-		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d", decCfg.Layers, decCfg.Hidden, *genMaxBatch)
+		attn := "grouped ragged"
+		if *genPerRow {
+			attn = "per-row oracle"
+		}
+		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d, %s decode attention, batched packed prefill",
+			decCfg.Layers, decCfg.Hidden, *genMaxBatch, attn)
 	}
 	srv, err := turbo.NewServer(serverCfg)
 	if err != nil {

@@ -17,7 +17,10 @@
 // accounting layer reproduces them without a GPU.
 package allocator
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Buffer is a simulated device allocation. Data is materialised lazily so
 // footprint experiments over hundreds of MB cost nothing, while the
@@ -42,14 +45,25 @@ func (b *Buffer) Data() []float32 {
 
 // Device tracks simulated device-memory state: live/peak bytes and
 // cumulative allocation traffic. All four allocators draw from one Device
-// per experiment so their footprints are directly comparable.
+// per experiment so their footprints are directly comparable. Counters are
+// mutex-guarded: the serving paths allocate (KV caches, decode scratch)
+// from worker goroutines while /v1/stats snapshots concurrently.
 type Device struct {
+	mu         sync.Mutex
 	live       int64
 	peak       int64
 	allocCount int64
 	freeCount  int64
 	allocBytes int64
 	freeBytes  int64
+
+	// KV-cache gauges, maintained by the generation path: kvReserved is the
+	// worst-case bytes admission control has committed to (KV caches are
+	// reserved for a session's whole token budget up front), kvUsed the
+	// bytes actually holding generated context. The gap between the two is
+	// the admission-control safety margin.
+	kvReserved int64
+	kvUsed     int64
 }
 
 // NewDevice returns an empty device-memory tracker.
@@ -60,6 +74,8 @@ func (d *Device) Malloc(size int64) *Buffer {
 	if size < 0 {
 		panic(fmt.Sprintf("allocator: negative malloc %d", size))
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.live += size
 	if d.live > d.peak {
 		d.peak = d.live
@@ -80,9 +96,35 @@ func (d *Device) Free(b *Buffer) {
 	}
 	b.free = true
 	b.data = nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.live -= b.Size
 	d.freeCount++
 	d.freeBytes += b.Size
+}
+
+// AddKVReserved adjusts the worst-case KV-reservation gauge. The generation
+// path's KV caches call this with the bytes reserved at admission (and the
+// negation on release), so Snapshot can report reserved-vs-actual KV
+// footprint. Deltas must net to zero over a session's lifetime.
+func (d *Device) AddKVReserved(delta int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.kvReserved += delta
+	if d.kvReserved < 0 {
+		panic(fmt.Sprintf("allocator: KV reservation gauge went negative (%d)", d.kvReserved))
+	}
+}
+
+// AddKVUsed adjusts the actually-occupied KV gauge (bytes holding committed
+// context rows, always ≤ the reservation).
+func (d *Device) AddKVUsed(delta int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.kvUsed += delta
+	if d.kvUsed < 0 {
+		panic(fmt.Sprintf("allocator: KV usage gauge went negative (%d)", d.kvUsed))
+	}
 }
 
 // Snapshot is a point-in-time copy of the device counters.
@@ -93,18 +135,27 @@ type Snapshot struct {
 	FreeCount  int64
 	AllocBytes int64
 	FreeBytes  int64
+
+	// Reserved-vs-actual KV accounting (generation path): bytes admission
+	// control reserved worst-case, and bytes actually occupied by context.
+	KVReservedBytes int64
+	KVUsedBytes     int64
 }
 
 // Snapshot returns the current counters. Diff two snapshots to measure one
 // inference's traffic (Fig. 12).
 func (d *Device) Snapshot() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return Snapshot{
-		LiveBytes:  d.live,
-		PeakBytes:  d.peak,
-		AllocCount: d.allocCount,
-		FreeCount:  d.freeCount,
-		AllocBytes: d.allocBytes,
-		FreeBytes:  d.freeBytes,
+		LiveBytes:       d.live,
+		PeakBytes:       d.peak,
+		AllocCount:      d.allocCount,
+		FreeCount:       d.freeCount,
+		AllocBytes:      d.allocBytes,
+		FreeBytes:       d.freeBytes,
+		KVReservedBytes: d.kvReserved,
+		KVUsedBytes:     d.kvUsed,
 	}
 }
 
@@ -112,11 +163,13 @@ func (d *Device) Snapshot() Snapshot {
 // (cumulative fields only; LiveBytes/PeakBytes are copied from s).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
-		LiveBytes:  s.LiveBytes,
-		PeakBytes:  s.PeakBytes,
-		AllocCount: s.AllocCount - prev.AllocCount,
-		FreeCount:  s.FreeCount - prev.FreeCount,
-		AllocBytes: s.AllocBytes - prev.AllocBytes,
-		FreeBytes:  s.FreeBytes - prev.FreeBytes,
+		LiveBytes:       s.LiveBytes,
+		PeakBytes:       s.PeakBytes,
+		AllocCount:      s.AllocCount - prev.AllocCount,
+		FreeCount:       s.FreeCount - prev.FreeCount,
+		AllocBytes:      s.AllocBytes - prev.AllocBytes,
+		FreeBytes:       s.FreeBytes - prev.FreeBytes,
+		KVReservedBytes: s.KVReservedBytes,
+		KVUsedBytes:     s.KVUsedBytes,
 	}
 }

@@ -33,6 +33,46 @@ func TestBenchSmoke(t *testing.T) {
 	if strings.Contains(out, "DIVERGED") {
 		t.Fatalf("packed path diverged from the padded oracle:\n%s", out)
 	}
+
+	// Same wiring guard for the ragged decode experiment: a tiny geometry
+	// must run end-to-end with the grouped path bit-identical to the
+	// per-row oracle (timing verdicts are checked by the full-size test).
+	buf.Reset()
+	tinyGen := genDecodeParams{
+		hidden: 16, heads: 2, inter: 32, layers: 1, vocab: 32,
+		promptLo: 2, promptHi: 8, warm: 2, steps: 4, reps: 1,
+		batches: []int{1, 2},
+	}
+	if err := runGenDecodeWith(&buf, tinyGen); err != nil {
+		t.Fatalf("gen-decode (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"batch", "ragged", "per-row", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gen-decode output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("grouped decode diverged from the per-row oracle:\n%s", out)
+	}
+}
+
+// TestGenDecodeExperiment runs the full-size ragged-decode artefact
+// (skipped in -short CI where TestBenchSmoke covers the wiring) and
+// enforces the headline claims: per-token decode wall-clock improves with
+// batch size under the grouped path, no regression at batch=1, and the
+// grouped kernels stay bit-identical to the per-row oracle.
+func TestGenDecodeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "gen-decode")
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("grouped decode diverged from the per-row oracle:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("gen-decode verdict failed:\n%s", out)
+	}
 }
 
 // TestVarLengthExperiment runs the full-size artefact (skipped in -short

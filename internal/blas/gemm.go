@@ -108,12 +108,39 @@ func gemmBlock(transA, transB bool, i0, i1, n, k int, alpha float32, a []float32
 
 // gemmNN: C[i,j] += alpha * sum_p A[i,p]*B[p,j]. The p-loop is outermost
 // inside each tile so B rows stream sequentially (row-major friendly).
+//
+// Rows run through a 4-row micro-kernel when the tile is tall enough: each
+// loaded B element feeds four output rows, which quadruples arithmetic
+// intensity and is what makes a batched decode iteration cheaper per token
+// than per-row GEMV-sized calls. Per-element accumulation order over p is
+// identical in both kernels (strictly ascending, one multiply-add per
+// operation), so a row's result is bit-identical whatever m it is batched
+// into — the invariant the continuous-batching correctness tests pin.
 func gemmNN(i0, i1, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	for jj := 0; jj < n; jj += blockN {
 		jMax := min(jj+blockN, n)
 		for pp := 0; pp < k; pp += blockK {
 			pMax := min(pp+blockK, k)
-			for i := i0; i < i1; i++ {
+			i := i0
+			for ; i+4 <= i1; i += 4 {
+				a0, a1, a2, a3 := a[i*lda:], a[(i+1)*lda:], a[(i+2)*lda:], a[(i+3)*lda:]
+				c0, c1, c2, c3 := c[i*ldc:], c[(i+1)*ldc:], c[(i+2)*ldc:], c[(i+3)*ldc:]
+				for p := pp; p < pMax; p++ {
+					av0, av1, av2, av3 := alpha*a0[p], alpha*a1[p], alpha*a2[p], alpha*a3[p]
+					if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+						continue
+					}
+					brow := b[p*ldb:]
+					for j := jj; j < jMax; j++ {
+						bv := brow[j]
+						c0[j] += av0 * bv
+						c1[j] += av1 * bv
+						c2[j] += av2 * bv
+						c3[j] += av3 * bv
+					}
+				}
+			}
+			for ; i < i1; i++ {
 				arow := a[i*lda:]
 				crow := c[i*ldc:]
 				for p := pp; p < pMax; p++ {

@@ -60,6 +60,12 @@ type Options struct {
 	// so no FLOP is ever spent on a padding row and no mask exists. The
 	// padded path remains available as the reference oracle.
 	Packed bool
+	// PerRowDecode makes a GenEngine's decode loop run the per-row
+	// reference attention (one blas call per session and head) instead of
+	// the grouped ragged decode kernels. Token streams are bit-identical
+	// either way — this is the oracle for property tests and the gen-decode
+	// benchmark.
+	PerRowDecode bool
 }
 
 // Engine is a ready-to-serve transformer model: tokeniser-facing embedding,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/allocator"
 	"repro/internal/model"
@@ -9,11 +10,12 @@ import (
 )
 
 // GenEngine is the generation runtime behind the continuous-batching
-// serving path: an encoder that turns a prompt into memory (its
+// serving path: an encoder that turns prompts into memory (its
 // intermediates planned by the sequence-length-aware allocator, Algorithm
-// 1) and a Generator that advances many sessions one token per iteration.
-// All device memory — encoder activation chunks and per-session KV caches —
-// is accounted on one simulated Device, so MemoryStats reflects the whole
+// 1) and a Generator that advances many sessions one token per iteration
+// through the grouped ragged decode kernels. All device memory — encoder
+// activation chunks, per-session KV caches, and the decode scratch — is
+// accounted on one simulated Device, so MemoryStats reflects the whole
 // workload.
 type GenEngine struct {
 	Cfg    model.Config // encoder geometry (prompt side)
@@ -24,11 +26,20 @@ type GenEngine struct {
 	Generator *model.Generator
 
 	dev *allocator.Device
+
+	// Prefill accounting: prompts encoded, encoder passes run, and prompt
+	// tokens processed. Batched packed prefill encodes many prompts per
+	// pass, so passes ≪ prompts under load — the counter pair the
+	// batched-prefill claim is asserted against.
+	prefillPrompts atomic.Int64
+	prefillPasses  atomic.Int64
+	prefillTokens  atomic.Int64
 }
 
 // NewGenEngine builds the generation runtime. Encoder and decoder must
 // agree on hidden size; opts.Allocator selects the encoder's activation
-// planner (default: turbo).
+// planner (default: turbo) and opts.PerRowDecode selects the reference
+// decode-attention oracle.
 func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error) {
 	if !decCfg.IsDecoder {
 		return nil, fmt.Errorf("core: generation needs a decoder config, got %s", decCfg.Name)
@@ -49,6 +60,7 @@ func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error)
 	if err != nil {
 		return nil, err
 	}
+	gen.PerRowAttention = opts.PerRowDecode
 	return &GenEngine{
 		Cfg:       encCfg,
 		DecCfg:    decCfg,
@@ -59,8 +71,10 @@ func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error)
 	}, nil
 }
 
-// StartSession encodes promptTokens and opens a generation session that
-// will emit at most maxNew tokens.
+// StartSession encodes one prompt through the padded encoder and opens a
+// generation session that will emit at most maxNew tokens. This is the
+// reference oracle for StartSessions — the serving path batches admitted
+// prompts through the packed encoder instead.
 func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*model.GenSession, error) {
 	if len(promptTokens) == 0 {
 		return nil, fmt.Errorf("core: empty prompt")
@@ -75,7 +89,76 @@ func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*mod
 	}
 	srcLen := len(promptTokens)
 	memory := tensor.FromSlice(encoded.Data()[:srcLen*e.Cfg.Hidden], srcLen, e.Cfg.Hidden)
-	return e.Generator.NewSession(id, memory, maxNew)
+	sess, err := e.Generator.NewSession(id, memory, maxNew)
+	if err != nil {
+		return nil, err
+	}
+	e.prefillPrompts.Add(1)
+	e.prefillPasses.Add(1)
+	e.prefillTokens.Add(int64(srcLen))
+	return sess, nil
+}
+
+// StartSessions encodes all admitted prompts in ONE packed (zero-padding)
+// encoder pass — ragged [Σlen, hidden] execution, no prompt padded to the
+// batch maximum — and opens a session per prompt. The packed encoder is
+// property-tested bit-identical to the padded path, so sessions started
+// here produce exactly the streams StartSession would. maxNew[i] budgets
+// prompt i (a single value is broadcast when len(maxNew) == 1).
+//
+// On error no session survives: already-opened sessions are closed so the
+// caller's admission bookkeeping can simply fail the whole batch.
+func (e *GenEngine) StartSessions(ids []int64, prompts [][]int, maxNew []int) ([]*model.GenSession, error) {
+	if len(prompts) == 0 {
+		return nil, nil
+	}
+	if len(ids) != len(prompts) {
+		return nil, fmt.Errorf("core: %d ids for %d prompts", len(ids), len(prompts))
+	}
+	if len(maxNew) != len(prompts) && len(maxNew) != 1 {
+		return nil, fmt.Errorf("core: %d budgets for %d prompts", len(maxNew), len(prompts))
+	}
+	total := 0
+	for i, p := range prompts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("core: empty prompt at index %d", i)
+		}
+		total += len(p)
+	}
+	hidden, err := e.Embedding.EncodePacked(prompts)
+	if err != nil {
+		return nil, err
+	}
+	encoded, _, err := e.Encoder.ForwardPacked(hidden)
+	if err != nil {
+		return nil, err
+	}
+	sessions := make([]*model.GenSession, 0, len(prompts))
+	for i := range prompts {
+		budget := maxNew[0]
+		if len(maxNew) > 1 {
+			budget = maxNew[i]
+		}
+		sess, err := e.Generator.NewSession(ids[i], encoded.Request(i), budget)
+		if err != nil {
+			for _, s := range sessions {
+				s.Close()
+			}
+			return nil, err
+		}
+		sessions = append(sessions, sess)
+	}
+	e.prefillPrompts.Add(int64(len(prompts)))
+	e.prefillPasses.Add(1)
+	e.prefillTokens.Add(int64(total))
+	return sessions, nil
+}
+
+// PrefillCounters reports the cumulative prefill accounting: prompts
+// encoded, encoder passes run (one per StartSessions batch), and prompt
+// tokens processed.
+func (e *GenEngine) PrefillCounters() (prompts, passes, tokens int64) {
+	return e.prefillPrompts.Load(), e.prefillPasses.Load(), e.prefillTokens.Load()
 }
 
 // Step advances every live session one greedy token (see Generator.Step).
@@ -83,7 +166,8 @@ func (e *GenEngine) Step(sessions []*model.GenSession) ([]int, error) {
 	return e.Generator.Step(sessions)
 }
 
-// MemoryStats reports the shared device counters (encoder chunks + KV).
+// MemoryStats reports the shared device counters (encoder chunks, decode
+// scratch, and KV — including the reserved-vs-used KV gauges).
 func (e *GenEngine) MemoryStats() allocator.Snapshot {
 	return e.dev.Snapshot()
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/allocator"
 	"repro/internal/blas"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
@@ -41,6 +42,14 @@ type Decoder struct {
 	Embed  *Embedding
 	Proj   *tensor.Tensor // [hidden, vocab] output projection
 	layers []decoderLayerWeights
+
+	// scr is the shared decode-iteration workspace (see decodescratch.go):
+	// BeamSearch positions and Generator iterations draw activations,
+	// scores, and logits from it instead of making fresh slices per token.
+	// A standalone decoder accounts it on a private device; NewGenerator
+	// rebinds it to the engine's shared device so decode activations appear
+	// in the same MemoryStats as encoder activations and KV caches.
+	scr *decodeScratch
 }
 
 // NewDecoder builds a decoder with deterministic random weights.
@@ -56,6 +65,7 @@ func NewDecoder(cfg Config, seed int64) (*Decoder, error) {
 		Cfg:   cfg,
 		Embed: NewEmbedding(cfg, seed),
 		Proj:  tensor.RandN(seed+7, 0.05, h, vocab),
+		scr:   newDecodeScratch(allocator.NewDevice()),
 	}
 	mat := func(s int64, r, c int) *tensor.Tensor { return tensor.RandN(s, 0.05, r, c) }
 	vec := func(s int64, n int) *tensor.Tensor { return tensor.RandN(s, 0.02, n) }
@@ -76,6 +86,11 @@ func NewDecoder(cfg Config, seed int64) (*Decoder, error) {
 	}
 	return d, nil
 }
+
+// DecodeScratchBytes returns the decode workspace's current device
+// footprint — the plan-reused buffer Generator.Step and stepAll draw
+// activations from (tests use it to separate workspace bytes from KV).
+func (d *Decoder) DecodeScratchBytes() int64 { return d.scr.bytes() }
 
 // decodeState is the per-beam incremental state: self-attention KV cache per
 // layer (rows of [hidden] appended per generated token).
@@ -129,8 +144,13 @@ func (d *Decoder) buildCrossCache(memory *tensor.Tensor) *crossCache {
 	return cc
 }
 
-// attend computes single-query multi-head attention for one beam:
-// q [hidden] against keys/vals [T, hidden], writing ctx [hidden].
+// attend computes single-query multi-head attention for one beam or
+// session: q [hidden] against keys/vals [T, hidden], writing ctx [hidden].
+// This is the per-row reference oracle for the grouped ragged decode path
+// (kernels.DecodeAttention): each head's score and context products go
+// through the same blas GEMM kernel the grouped call dispatches per
+// (session, head) problem, so the two paths are bit-identical by
+// construction and property tests can pin exact token streams.
 func (d *Decoder) attend(q, keys, vals []float32, T int, ctx []float32) {
 	h, heads := d.Cfg.Hidden, d.Cfg.Heads
 	hd := h / heads
@@ -138,27 +158,12 @@ func (d *Decoder) attend(q, keys, vals []float32, T int, ctx []float32) {
 	scores := make([]float32, T)
 	for head := 0; head < heads; head++ {
 		off := head * hd
-		for t := 0; t < T; t++ {
-			var dot float32
-			kRow := keys[t*h+off : t*h+off+hd]
-			qh := q[off : off+hd]
-			for i := range qh {
-				dot += qh[i] * kRow[i]
-			}
-			scores[t] = dot * scale
+		blas.Gemm(false, true, 1, T, hd, 1, q[off:off+hd], hd, keys[off:], h, 0, scores, T)
+		for t := range scores {
+			scores[t] *= scale
 		}
 		kernels.Softmax(scores, 1, T)
-		out := ctx[off : off+hd]
-		for i := range out {
-			out[i] = 0
-		}
-		for t := 0; t < T; t++ {
-			p := scores[t]
-			vRow := vals[t*h+off : t*h+off+hd]
-			for i := range out {
-				out[i] += p * vRow[i]
-			}
-		}
+		blas.Gemm(false, false, 1, hd, T, 1, scores, T, vals[off:], h, 0, ctx[off:off+hd], hd)
 	}
 }
 
@@ -277,6 +282,13 @@ func (d *Decoder) BeamSearch(memory *tensor.Tensor, maxLen int) ([]Hypothesis, e
 	cc := d.buildCrossCache(memory)
 	layers := d.Cfg.Layers
 
+	// Hold the decode workspace for the whole search: every position reuses
+	// its buffers and consumes the logits views in place, so concurrent
+	// BeamSearch (or Translator.Translate) calls on one decoder serialise
+	// here instead of racing on the shared scratch.
+	d.scr.mu.Lock()
+	defer d.scr.mu.Unlock()
+
 	start := &decodeState{
 		selfK: make([][]float32, layers),
 		selfV: make([][]float32, layers),
@@ -299,7 +311,7 @@ func (d *Decoder) BeamSearch(memory *tensor.Tensor, maxLen int) ([]Hypothesis, e
 				toks[bi] = st.toks[len(st.toks)-1]
 			}
 		}
-		logitsAll := d.stepAll(beams, cc, toks, pos)
+		logitsAll := d.stepAllLocked(beams, cc, toks, pos)
 		for bi, st := range beams {
 			logits := logitsAll[bi]
 			logSoftmax(logits)

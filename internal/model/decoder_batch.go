@@ -13,14 +13,30 @@ import (
 // single-beam step because every projection is row-independent.
 //
 // Each beam's KV cache is updated in place. Returns one logits row per
-// beam.
+// beam; the rows are views into the decoder's reusable decode scratch (the
+// same workspace Generator.Step draws from, so beam search allocates no
+// per-token activation buffers either — only attend's small per-head score
+// rows remain) and are only valid until the next stepAll or Generator.Step
+// call on this decoder.
 func (d *Decoder) stepAll(states []*decodeState, cc *crossCache, toks []int, pos int) [][]float32 {
+	d.scr.mu.Lock()
+	defer d.scr.mu.Unlock()
+	return d.stepAllLocked(states, cc, toks, pos)
+}
+
+// stepAllLocked is stepAll's body; the caller must hold d.scr.mu and must
+// consume the returned logits views before releasing it (BeamSearch holds
+// the lock across its whole position loop for exactly this reason).
+func (d *Decoder) stepAllLocked(states []*decodeState, cc *crossCache, toks []int, pos int) [][]float32 {
 	h, inter, vocab := d.Cfg.Hidden, d.Cfg.Inter, d.Cfg.Vocab
 	beams := len(states)
 
+	scr := d.scr
+	scr.plan(&d.Cfg, beams, 0)
+
 	// Embed all beams: word + position + LayerNorm, one row per beam.
-	x := make([]float32, beams*h)
-	pe := make([]float32, h)
+	x := scr.x[:beams*h]
+	pe := scr.pe
 	positionEncoding(pos, h, pe)
 	for bi, tok := range toks {
 		row := x[bi*h : (bi+1)*h]
@@ -31,13 +47,13 @@ func (d *Decoder) stepAll(states []*decodeState, cc *crossCache, toks []int, pos
 	}
 	kernels.LayerNorm(x, d.Embed.Gamma.Data(), d.Embed.Beta.Data(), beams, h, 1e-5)
 
-	// Batched scratch.
-	q := make([]float32, beams*h)
-	kNew := make([]float32, beams*h)
-	vNew := make([]float32, beams*h)
-	ctx := make([]float32, beams*h)
-	proj := make([]float32, beams*h)
-	interBuf := make([]float32, beams*inter)
+	// Batched per-iteration buffers, drawn from the decode workspace.
+	q := scr.q[:beams*h]
+	kNew := scr.k[:beams*h]
+	vNew := scr.v[:beams*h]
+	ctx := scr.ctx[:beams*h]
+	proj := scr.proj[:beams*h]
+	interBuf := scr.inter[:beams*inter]
 
 	batchedLinear := func(in []float32, w *tensorMat, out []float32) {
 		blas.Gemm(false, false, beams, w.n, w.k, 1, in, w.k, w.data, w.n, 0, out, w.n)
@@ -81,7 +97,7 @@ func (d *Decoder) stepAll(states []*decodeState, cc *crossCache, toks []int, pos
 	}
 
 	// Vocabulary projection for all beams at once.
-	logits := make([]float32, beams*vocab)
+	logits := scr.logits[:beams*vocab]
 	blas.Gemm(false, false, beams, vocab, h, 1, x, h, d.Proj.Data(), vocab, 0, logits, vocab)
 	out := make([][]float32, beams)
 	for bi := range out {

@@ -1,7 +1,9 @@
 package model
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/tensor"
@@ -97,5 +99,52 @@ func TestBeamSearchBatchedStillDeterministic(t *testing.T) {
 	}
 	if len(a) != len(b) || a[0].Score != b[0].Score {
 		t.Fatal("batched beam search non-deterministic")
+	}
+}
+
+// TestBeamSearchConcurrentSafe: beam searches share the decoder's decode
+// workspace, so concurrent calls must serialise on it — same hypotheses as
+// sequential runs, race-clean under -race.
+func TestBeamSearchConcurrentSafe(t *testing.T) {
+	cfg := tinyDecoder()
+	dec, err := NewDecoder(cfg, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems := []*tensor.Tensor{
+		tensor.RandN(1, 0.5, 4, cfg.Hidden),
+		tensor.RandN(2, 0.5, 7, cfg.Hidden),
+		tensor.RandN(3, 0.5, 5, cfg.Hidden),
+	}
+	want := make([][]Hypothesis, len(mems))
+	for i, mem := range mems {
+		h, err := dec.BeamSearch(mem, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = h
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(mems)
+			got, err := dec.BeamSearch(mems[i], 10)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if len(got) != len(want[i]) || got[0].Score != want[i][0].Score {
+				errs[g] = fmt.Errorf("memory %d: concurrent %v vs sequential %v", i, got, want[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/allocator"
 	"repro/internal/blas"
@@ -17,31 +18,34 @@ import (
 //
 // Every projection is batched across sessions ([rows,H]×[H,N] GEMMs) even
 // though the sessions sit at different positions with different context
-// lengths — the ragged parts (KV append, attention over each session's own
-// cache, its own cross-attention memory) are per-row. Because every GEMM
-// row is computed independently, a session's token stream is bit-identical
-// whether it runs alone or batched with strangers.
+// lengths — and the ragged parts run grouped: self- and cross-attention
+// execute as one kernels.DecodeAttention call per sub-layer, a grouped
+// strided-batched GEMM over the flattened (session, head) space with each
+// session's own context length as its group shape, plus a packed scaled
+// softmax over the concatenated score rows. No session is ever padded to a
+// batch-maximum context. Because every (session, head) problem runs the
+// same GEMM kernel the per-row oracle uses, a session's token stream is
+// bit-identical whether it runs alone, batched with strangers, or through
+// the PerRowAttention reference path.
 //
-// Step reuses grow-only scratch buffers, so concurrent Step calls on one
-// Generator are not allowed — the serving loop is single-threaded by
-// design. Sessions may be created and closed from any goroutine.
+// Step draws its activations from the decoder's device-accounted decode
+// scratch, so concurrent Step calls on one Generator serialise on that
+// workspace — the serving loop is single-threaded by design. Sessions may
+// be created and closed from any goroutine.
 type Generator struct {
 	Cfg Config
 	dec *Decoder
 	dev *allocator.Device
 
-	// Decode-iteration scratch, grown to the largest batch seen. The
-	// logits buffer alone is rows×vocab floats; reallocating it per token
-	// would dominate the decode loop's garbage.
-	scratch struct {
-		rows                  int
-		x, q, k, v, ctx, proj []float32
-		inter, logits         []float32
-	}
+	// PerRowAttention selects the reference oracle: per-session single-query
+	// attention (Decoder.attend) instead of the grouped ragged kernels.
+	// Token streams are bit-identical either way — property tests and the
+	// gen-decode benchmark pin it.
+	PerRowAttention bool
 }
 
 // NewGenerator builds a generator around a decoder configuration. KV-cache
-// buffers are accounted on dev.
+// buffers and the decode scratch are accounted on dev.
 func NewGenerator(cfg Config, seed int64, dev *allocator.Device) (*Generator, error) {
 	dec, err := NewDecoder(cfg, seed)
 	if err != nil {
@@ -50,6 +54,9 @@ func NewGenerator(cfg Config, seed int64, dev *allocator.Device) (*Generator, er
 	if dev == nil {
 		dev = allocator.NewDevice()
 	}
+	// Rebind the decoder's workspace to the shared device so decode
+	// activations are visible in the same MemoryStats as KV caches.
+	dec.scr = newDecodeScratch(dev)
 	return &Generator{Cfg: cfg, dec: dec, dev: dev}, nil
 }
 
@@ -80,6 +87,9 @@ func (s *GenSession) Done() bool { return s.done }
 
 // ContextLen returns the number of tokens in the self-attention cache.
 func (s *GenSession) ContextLen() int { return s.kv.Len() }
+
+// SrcLen returns the cross-attention memory length (the prompt width).
+func (s *GenSession) SrcLen() int { return s.cc.srcLen }
 
 // KVBytes returns the session's current KV-cache device footprint.
 func (s *GenSession) KVBytes() int64 { return s.kv.Bytes() }
@@ -121,6 +131,9 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 	if rows == 0 {
 		return nil, nil
 	}
+	// Iteration shape: Σ self-context (including the row each session is
+	// about to append) and Σ cross-context size the score scratch must hold.
+	sumSelf, sumCross := 0, 0
 	for _, s := range sessions {
 		if s.done {
 			return nil, fmt.Errorf("model %s: session %d already done", g.Cfg.Name, s.ID)
@@ -128,31 +141,36 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 		if s.kv == nil {
 			return nil, fmt.Errorf("model %s: session %d closed", g.Cfg.Name, s.ID)
 		}
+		sumSelf += s.kv.Len() + 1
+		sumCross += s.cc.srcLen
+	}
+	maxCtx := sumSelf
+	if sumCross > maxCtx {
+		maxCtx = sumCross
 	}
 	d := g.dec
-	h, inter, vocab := g.Cfg.Hidden, g.Cfg.Inter, g.Cfg.Vocab
+	h, inter, vocab, heads := g.Cfg.Hidden, g.Cfg.Inter, g.Cfg.Vocab, g.Cfg.Heads
+	hd := h / heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	if g.scratch.rows < rows {
-		g.scratch.rows = rows
-		g.scratch.x = make([]float32, rows*h)
-		g.scratch.q = make([]float32, rows*h)
-		g.scratch.k = make([]float32, rows*h)
-		g.scratch.v = make([]float32, rows*h)
-		g.scratch.ctx = make([]float32, rows*h)
-		g.scratch.proj = make([]float32, rows*h)
-		g.scratch.inter = make([]float32, rows*inter)
-		g.scratch.logits = make([]float32, rows*vocab)
-	}
-	x := g.scratch.x[:rows*h]
-	q := g.scratch.q[:rows*h]
-	kNew := g.scratch.k[:rows*h]
-	vNew := g.scratch.v[:rows*h]
-	ctx := g.scratch.ctx[:rows*h]
-	proj := g.scratch.proj[:rows*h]
-	interBuf := g.scratch.inter[:rows*inter]
+	scr := d.scr
+	scr.mu.Lock()
+	defer scr.mu.Unlock()
+	// Drop this iteration's KV references on the way out so an idle
+	// generator never pins evicted sessions' caches (LIFO: runs before
+	// the unlock above).
+	defer scr.clearGather()
+	scr.plan(&g.Cfg, rows, maxCtx)
+	x := scr.x[:rows*h]
+	q := scr.q[:rows*h]
+	kNew := scr.k[:rows*h]
+	vNew := scr.v[:rows*h]
+	ctx := scr.ctx[:rows*h]
+	proj := scr.proj[:rows*h]
+	interBuf := scr.inter[:rows*inter]
 
 	// Embed every session's next token at its own position.
-	pe := make([]float32, h)
+	pe := scr.pe
 	for ri, s := range sessions {
 		row := x[ri*h : (ri+1)*h]
 		copy(row, d.Embed.Word.Data()[s.next*h:(s.next+1)*h])
@@ -173,23 +191,49 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 	for l := range d.layers {
 		lw := &d.layers[l]
 
-		// Self-attention: batched projections, per-session ragged cache.
+		// Self-attention: batched projections, grouped ragged attention over
+		// each session's own cache (per-row oracle when PerRowAttention).
 		batchedLinear(x, mat(lw.selfWq, lw.selfBq), q)
 		batchedLinear(x, mat(lw.selfWk, lw.selfBk), kNew)
 		batchedLinear(x, mat(lw.selfWv, lw.selfBv), vNew)
-		for ri, s := range sessions {
-			s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
-			T := s.kv.Len() + 1 // include the row just appended
-			d.attend(q[ri*h:(ri+1)*h], s.kv.K(l, T), s.kv.V(l, T), T, ctx[ri*h:(ri+1)*h])
+		if g.PerRowAttention {
+			for ri, s := range sessions {
+				s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
+				T := s.kv.Len() + 1 // include the row just appended
+				d.attend(q[ri*h:(ri+1)*h], s.kv.K(l, T), s.kv.V(l, T), T, ctx[ri*h:(ri+1)*h])
+			}
+		} else {
+			keys, vals, lens := scr.gather()
+			for ri, s := range sessions {
+				s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
+				T := s.kv.Len() + 1
+				keys = append(keys, s.kv.K(l, T))
+				vals = append(vals, s.kv.V(l, T))
+				lens = append(lens, T)
+			}
+			scr.keys, scr.vals, scr.lens = keys, vals, lens
+			scr.ws.Attention(q, keys, vals, lens, heads, hd, scale, scr.scores[:heads*sumSelf], ctx)
 		}
 		batchedLinear(ctx, mat(lw.selfWo, lw.selfBo), proj)
 		kernels.AddResidual(x, proj)
 		kernels.LayerNorm(x, lw.selfLnG.Data(), lw.selfLnB.Data(), rows, h, 1e-5)
 
-		// Cross-attention against each session's own prompt memory.
+		// Cross-attention against each session's own prompt memory, grouped
+		// the same way (ragged srcLen per session).
 		batchedLinear(x, mat(lw.crossWq, lw.crossBq), q)
-		for ri, s := range sessions {
-			d.attend(q[ri*h:(ri+1)*h], s.cc.k[l], s.cc.v[l], s.cc.srcLen, ctx[ri*h:(ri+1)*h])
+		if g.PerRowAttention {
+			for ri, s := range sessions {
+				d.attend(q[ri*h:(ri+1)*h], s.cc.k[l], s.cc.v[l], s.cc.srcLen, ctx[ri*h:(ri+1)*h])
+			}
+		} else {
+			keys, vals, lens := scr.gather()
+			for _, s := range sessions {
+				keys = append(keys, s.cc.k[l])
+				vals = append(vals, s.cc.v[l])
+				lens = append(lens, s.cc.srcLen)
+			}
+			scr.keys, scr.vals, scr.lens = keys, vals, lens
+			scr.ws.Attention(q, keys, vals, lens, heads, hd, scale, scr.scores[:heads*sumCross], ctx)
 		}
 		batchedLinear(ctx, mat(lw.crossWo, lw.crossBo), proj)
 		kernels.AddResidual(x, proj)
@@ -204,7 +248,7 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 	}
 
 	// Vocabulary projection and greedy argmax per session.
-	logits := g.scratch.logits[:rows*vocab]
+	logits := scr.logits[:rows*vocab]
 	blas.Gemm(false, false, rows, vocab, h, 1, x, h, d.Proj.Data(), vocab, 0, logits, vocab)
 	out := make([]int, rows)
 	for ri, s := range sessions {

@@ -139,8 +139,14 @@ func TestGeneratorBatchedMatchesSolo(t *testing.T) {
 		}
 		s.Close()
 	}
-	if live := dev.Snapshot().LiveBytes; live != 0 {
-		t.Fatalf("KV memory leaked: %d live bytes after all sessions closed", live)
+	// After all sessions close, only the plan-reused decode workspace stays
+	// live; every KV byte (and both KV gauges) must be back to zero.
+	snap := dev.Snapshot()
+	if want := g.Decoder().DecodeScratchBytes(); snap.LiveBytes != want {
+		t.Fatalf("KV memory leaked: %d live bytes, want only the %d-byte decode scratch", snap.LiveBytes, want)
+	}
+	if snap.KVReservedBytes != 0 || snap.KVUsedBytes != 0 {
+		t.Fatalf("KV gauges not released: reserved=%d used=%d", snap.KVReservedBytes, snap.KVUsedBytes)
 	}
 }
 
@@ -203,6 +209,12 @@ func TestSessionBudgetReservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
+	// The first Step plans the decode workspace; after that, neither the KV
+	// cache (reserved up front) nor the workspace (plan covers the whole
+	// budget's context growth) may allocate again.
+	if _, err := g.Step([]*GenSession{sess}); err != nil {
+		t.Fatal(err)
+	}
 	before := dev.Snapshot().AllocCount
 	for !sess.Done() {
 		if _, err := g.Step([]*GenSession{sess}); err != nil {
@@ -210,6 +222,6 @@ func TestSessionBudgetReservation(t *testing.T) {
 		}
 	}
 	if grew := dev.Snapshot().AllocCount - before; grew != 0 {
-		t.Fatalf("KV reallocated %d times mid-generation despite up-front reservation", grew)
+		t.Fatalf("KV or scratch reallocated %d times mid-generation despite up-front reservation", grew)
 	}
 }

@@ -59,7 +59,22 @@ func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) *KVCach
 		c.k = append(c.k, dev.Malloc(bytes))
 		c.v = append(c.v, dev.Malloc(bytes))
 	}
+	// The whole up-front reservation is what admission control budgeted for
+	// this session; Advance moves bytes from reserved-only to used.
+	dev.AddKVReserved(c.Bytes())
 	return c
+}
+
+// rowBytes is the device footprint one committed token adds across all
+// layers' K and V buffers.
+func (c *KVCache) rowBytes() int64 {
+	return int64(len(c.k)) * 2 * int64(c.hidden) * 4
+}
+
+// UsedBytes returns the bytes actually occupied by committed context rows
+// (≤ Bytes(), the reservation).
+func (c *KVCache) UsedBytes() int64 {
+	return int64(c.length) * c.rowBytes()
 }
 
 // Len returns the number of tokens stored.
@@ -87,6 +102,7 @@ func (c *KVCache) grow(need int) {
 	newCap := roundUpTokens(need)
 	bytes := int64(newCap) * int64(c.hidden) * 4
 	liveFloats := c.length * c.hidden
+	before := c.Bytes()
 	for l := range c.k {
 		nk := c.dev.Malloc(bytes)
 		nv := c.dev.Malloc(bytes)
@@ -97,6 +113,7 @@ func (c *KVCache) grow(need int) {
 		c.k[l], c.v[l] = nk, nv
 	}
 	c.capTok = newCap
+	c.dev.AddKVReserved(c.Bytes() - before)
 }
 
 // AppendRow stores one token's K and V rows for the given layer at the
@@ -115,7 +132,10 @@ func (c *KVCache) AppendRow(layer int, kRow, vRow []float32) {
 }
 
 // Advance commits the row appended to every layer this step.
-func (c *KVCache) Advance() { c.length++ }
+func (c *KVCache) Advance() {
+	c.length++
+	c.dev.AddKVUsed(c.rowBytes())
+}
 
 // K returns layer l's keys as a contiguous [tokens, hidden] slice covering
 // tokens rows (tokens may include the row appended but not yet advanced).
@@ -124,8 +144,14 @@ func (c *KVCache) K(l, tokens int) []float32 { return c.k[l].Data()[:tokens*c.hi
 // V returns layer l's values, like K.
 func (c *KVCache) V(l, tokens int) []float32 { return c.v[l].Data()[:tokens*c.hidden] }
 
-// Free returns all buffers to the device (request evicted or finished).
+// Free returns all buffers to the device (request evicted or finished) and
+// releases the reservation and usage gauges. Idempotent.
 func (c *KVCache) Free() {
+	if c.k == nil {
+		return
+	}
+	c.dev.AddKVReserved(-c.Bytes())
+	c.dev.AddKVUsed(-c.UsedBytes())
 	for l := range c.k {
 		c.dev.Free(c.k[l])
 		c.dev.Free(c.v[l])

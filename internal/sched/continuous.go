@@ -64,8 +64,12 @@ func NewContinuousScheduler(maxBatch, tokenBudget int) *ContinuousScheduler {
 	}
 }
 
-// reserve returns the worst-case token reservation for a request.
-func reserve(r *GenRequest) int {
+// ReservedTokens returns the worst-case token reservation admission control
+// budgets for this request: prompt plus the full generation budget (the KV
+// context the session could reach). This is the figure Admit charges
+// against TokenBudget and Evict refunds — exported so serving stats and
+// regression tests can pin admission to it.
+func (r *GenRequest) ReservedTokens() int {
 	n := r.PromptLen + r.MaxNew
 	if n < 1 {
 		n = 1
@@ -94,7 +98,7 @@ func (s *ContinuousScheduler) Admit() []*GenRequest {
 			s.queue = s.queue[1:]
 			continue
 		}
-		need := reserve(r)
+		need := r.ReservedTokens()
 		if s.TokenBudget > 0 && len(s.running) > 0 && s.tokens+need > s.TokenBudget {
 			break
 		}

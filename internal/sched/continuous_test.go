@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -154,5 +155,53 @@ func TestContinuousConcurrent(t *testing.T) {
 	}
 	if !s.Idle() {
 		t.Fatal("scheduler not idle after drain")
+	}
+}
+
+// TestAdmissionUsesReservedFigureConsistently is the reserved-KV regression
+// guard: across a fuzzed admit/evict history, the scheduler's budget must
+// always equal the sum of GenRequest.ReservedTokens() (prompt + full
+// generation budget — the worst-case KV context) over the running set, and
+// admission must never overshoot TokenBudget on that figure. If admission
+// ever priced a request by anything else (current length, prompt only, …)
+// this test catches the drift.
+func TestAdmissionUsesReservedFigureConsistently(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		budget := 50 + rng.Intn(200)
+		s := NewContinuousScheduler(1+rng.Intn(6), budget)
+		running := map[int64]*GenRequest{}
+		nextID := int64(1)
+		for op := 0; op < 200; op++ {
+			switch {
+			case rng.Intn(3) > 0:
+				r := genReq(nextID, rng.Intn(40), rng.Intn(60))
+				nextID++
+				s.Enqueue(r)
+			case len(running) > 0:
+				for id := range running { // evict an arbitrary running request
+					s.Evict(id)
+					delete(running, id)
+					break
+				}
+			}
+			for _, r := range s.Admit() {
+				running[r.ID] = r
+			}
+			want := 0
+			for _, r := range running {
+				want += r.ReservedTokens()
+			}
+			if got := s.ReservedTokens(); got != want {
+				t.Fatalf("trial %d op %d: scheduler reserves %d, Σ ReservedTokens() of running = %d",
+					trial, op, got, want)
+			}
+			// The single-request override (an oversized request alone in the
+			// batch) is the only sanctioned way past the budget.
+			if len(running) > 1 && s.ReservedTokens() > budget {
+				t.Fatalf("trial %d: %d running requests reserve %d > budget %d",
+					trial, len(running), s.ReservedTokens(), budget)
+			}
+		}
 	}
 }

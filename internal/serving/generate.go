@@ -170,21 +170,36 @@ func (gs *genServer) worker() {
 		live = kept
 
 		// Admission: start sessions for everything the scheduler lets in.
-		// The prompt encode runs here, between iterations, exactly like a
-		// prefill slot.
+		// All admitted prompts prefill as ONE packed encoder pass — a batch
+		// of ragged prefill slots between decode iterations — instead of one
+		// padded encode per request.
+		var ids []int64
+		var prompts [][]int
+		var budgets []int
+		var admitted []*queuedGen
 		for _, r := range gs.sched.Admit() {
 			q := r.Payload.(*queuedGen)
 			if q.cancelled.Load() {
 				gs.sched.Evict(r.ID)
 				continue
 			}
-			sess, err := gs.engine.StartSession(r.ID, q.tokens, q.maxNew)
+			ids = append(ids, r.ID)
+			prompts = append(prompts, q.tokens)
+			budgets = append(budgets, q.maxNew)
+			admitted = append(admitted, q)
+		}
+		if len(admitted) > 0 {
+			sessions, err := gs.engine.StartSessions(ids, prompts, budgets)
 			if err != nil {
-				gs.sched.Evict(r.ID)
-				fail(q, err)
-				continue
+				for i, q := range admitted {
+					gs.sched.Evict(ids[i])
+					fail(q, err)
+				}
+			} else {
+				for i, q := range admitted {
+					live = append(live, &liveGen{id: ids[i], req: q, sess: sessions[i]})
+				}
 			}
-			live = append(live, &liveGen{id: r.ID, req: q, sess: sess})
 		}
 		if len(live) == 0 {
 			continue

@@ -254,6 +254,21 @@ type statsResponse struct {
 	GenTokens    int64 `json:"gen_tokens"`
 	GenSteps     int64 `json:"gen_steps"`
 	GenPeakBatch int64 `json:"gen_peak_batch"`
+
+	// Batched packed prefill: prompts encoded, encoder passes run (one per
+	// admission batch — passes ≪ prompts when admission batches), prompt
+	// tokens processed.
+	GenPrefillPrompts int64 `json:"gen_prefill_prompts"`
+	GenPrefillPasses  int64 `json:"gen_prefill_passes"`
+	GenPrefillTokens  int64 `json:"gen_prefill_tokens"`
+
+	// KV admission accounting: tokens currently reserved by the continuous
+	// scheduler, and reserved-vs-actually-used KV bytes on the device. The
+	// scheduler budgets by the reserved figure; the gap to used is the
+	// worst-case safety margin.
+	GenReservedTokens  int64 `json:"gen_reserved_tokens"`
+	GenKVReservedBytes int64 `json:"gen_kv_reserved_bytes"`
+	GenKVUsedBytes     int64 `json:"gen_kv_used_bytes"`
 }
 
 // Handler returns the HTTP mux for the service.
@@ -337,6 +352,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.GenTokens = s.gen.tokensOut.Load()
 		resp.GenSteps = s.gen.stepsRun.Load()
 		resp.GenPeakBatch = s.gen.peakBatch.Load()
+		resp.GenPrefillPrompts, resp.GenPrefillPasses, resp.GenPrefillTokens = s.gen.engine.PrefillCounters()
+		resp.GenReservedTokens = int64(s.gen.sched.ReservedTokens())
+		mem := s.gen.engine.MemoryStats()
+		resp.GenKVReservedBytes = mem.KVReservedBytes
+		resp.GenKVUsedBytes = mem.KVUsedBytes
 	}
 	writeJSON(w, resp)
 }

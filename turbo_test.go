@@ -59,7 +59,7 @@ func TestFacadeSchedulers(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := turbo.Experiments()
-	if len(ids) != 21 { // 16 paper artefacts + gen-serving + var-length + 3 extras
+	if len(ids) != 22 { // 16 paper artefacts + gen-serving + var-length + gen-decode + 3 extras
 		t.Fatalf("experiments: %v", ids)
 	}
 	var buf bytes.Buffer
