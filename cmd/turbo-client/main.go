@@ -24,6 +24,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "test duration")
 	lenLo := flag.Int("len-lo", 2, "minimum request length (characters)")
 	lenHi := flag.Int("len-hi", 100, "maximum request length (characters)")
+	deadlineMS := flag.Int("deadline-ms", 0, "per-request deadline_ms sent to the server (0 = none; expired requests come back 504)")
 	seed := flag.Int64("seed", 7, "workload seed")
 	flag.Parse()
 
@@ -33,6 +34,8 @@ func main() {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		rejected  int // 429: admission queue full (backpressure)
+		expired   int // 504: deadline passed before scheduling
 		errs      int
 		wg        sync.WaitGroup
 	)
@@ -50,26 +53,36 @@ func main() {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			body, _ := json.Marshal(map[string]string{"text": text})
+			req := map[string]interface{}{"text": text}
+			if *deadlineMS > 0 {
+				req["deadline_ms"] = *deadlineMS
+			}
+			body, _ := json.Marshal(req)
 			resp, err := client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(body))
 			elapsed := time.Since(start).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil || resp.StatusCode != http.StatusOK {
+			if err != nil {
 				errs++
-				if resp != nil {
-					resp.Body.Close()
-				}
 				return
 			}
-			resp.Body.Close()
-			latencies = append(latencies, elapsed)
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				latencies = append(latencies, elapsed)
+			case http.StatusTooManyRequests:
+				rejected++
+			case http.StatusGatewayTimeout:
+				expired++
+			default:
+				errs++
+			}
 		}()
 	}
 	wg.Wait()
 
 	if len(latencies) == 0 {
-		log.Fatalf("no successful responses (%d errors)", errs)
+		log.Fatalf("no successful responses (%d rejected, %d expired, %d errors)", rejected, expired, errs)
 	}
 	sort.Float64s(latencies)
 	var sum float64
@@ -77,7 +90,8 @@ func main() {
 		sum += l
 	}
 	pct := func(p float64) float64 { return latencies[int(p*float64(len(latencies)-1))] }
-	fmt.Printf("sent %d, ok %d, errors %d\n", sent, len(latencies), errs)
+	fmt.Printf("sent %d, ok %d, rejected(429) %d, expired(504) %d, errors %d\n",
+		sent, len(latencies), rejected, expired, errs)
 	fmt.Printf("throughput: %.1f resp/s\n", float64(len(latencies))/duration.Seconds())
 	fmt.Printf("latency ms: avg %.2f  min %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		1e3*sum/float64(len(latencies)), 1e3*latencies[0],

@@ -1,24 +1,35 @@
 // Command turbo-serve runs the live serving framework: a BERT-style
 // classification service with the paper's DP batch scheduling over a
-// warmed-up cost dictionary.
+// warmed-up cost dictionary, plus continuous-batching generation — both
+// behind ONE bounded, context-aware admission queue.
 //
 //	turbo-serve -addr :8080 -classes 4 -hidden 128 -layers 4
 //
 // Endpoints:
 //
-//	POST /v1/classify {"text": "..."}  → {"class": k, "batch_size": b, ...}
+//	POST /v1/classify {"text": "...", "deadline_ms": n, "priority": p}
+//	                                   → {"class": k, "batch_size": b, ...}
 //	POST /v1/generate {"text": "...", "max_new_tokens": n, "stream": true}
 //	                                   → continuous-batching generation
 //	                                     (NDJSON token stream, or one JSON
 //	                                     object when stream is false)
-//	GET  /v1/stats                     → serving counters
+//	GET  /v1/stats                     → serving counters (queue depth,
+//	                                     rejected/expired/cancelled jobs,
+//	                                     padding waste, KV reservations)
+//
+// A full admission queue answers 429 + Retry-After; SIGINT/SIGTERM drains
+// in-flight work (bounded by -drain-timeout) before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	turbo "repro"
@@ -37,6 +48,8 @@ func main() {
 	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
 	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
 	packed := flag.Bool("packed", false, "run the zero-padding (packed) engine: ragged batches, no padding FLOPs, token-based batch scheduling")
+	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue depth (submissions beyond it get 429)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: in-flight work is aborted past this")
 	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
 	genTokenBudget := flag.Int("gen-token-budget", 0, "cap on summed worst-case context tokens across running generations (0 = unlimited)")
@@ -45,7 +58,33 @@ func main() {
 	flag.Parse()
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
-	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: *seed, Classes: *classes, Packed: *packed})
+
+	// One option list is the whole configuration: engine knobs, serving
+	// knobs, and the generation path all hang off the same front door.
+	opts := []turbo.Option{
+		turbo.WithSeed(*seed),
+		turbo.WithClasses(*classes),
+		turbo.WithMaxBatch(*maxBatch),
+		turbo.WithCache(*cacheSize),
+		turbo.WithBatchWindow(*batchWindow),
+		turbo.WithQueueDepth(*queueDepth),
+	}
+	if *packed {
+		opts = append(opts, turbo.WithPacked())
+	}
+	if *generate {
+		decCfg := turbo.Seq2SeqDecoder().Scaled(*hidden, *heads, 4**hidden, *layers)
+		opts = append(opts,
+			turbo.WithGeneration(decCfg),
+			turbo.WithGenMaxBatch(*genMaxBatch),
+			turbo.WithGenTokenBudget(*genTokenBudget),
+			turbo.WithGenDefaultMaxNew(*genMaxNew),
+		)
+		if *genPerRow {
+			opts = append(opts, turbo.WithPerRowDecode())
+		}
+	}
+	rt, err := turbo.NewRuntime(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +101,7 @@ func main() {
 			toks[i] = row
 		}
 		start := time.Now()
-		if _, _, err := engine.Encode(toks); err != nil {
+		if _, _, err := rt.Engine.Encode(toks); err != nil {
 			log.Fatalf("warmup: %v", err)
 		}
 		return time.Since(start)
@@ -103,37 +142,46 @@ func main() {
 	}
 	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
 
-	serverCfg := turbo.ServerConfig{
-		Engine:      engine,
-		Scheduler:   turbo.NewDPScheduler(cost, *maxBatch),
-		MaxBatch:    *maxBatch,
-		CacheSize:   *cacheSize,
-		BatchWindow: *batchWindow,
+	srv, err := rt.Serve(turbo.WithScheduler(turbo.NewDPScheduler(cost, *maxBatch)))
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *generate {
-		decCfg := turbo.Seq2SeqDecoder().Scaled(*hidden, *heads, 4**hidden, *layers)
-		genEngine, err := turbo.NewGenEngine(cfg, decCfg, turbo.Options{Seed: *seed + 1, PerRowDecode: *genPerRow})
-		if err != nil {
-			log.Fatal(err)
-		}
-		serverCfg.GenEngine = genEngine
-		serverCfg.GenMaxBatch = *genMaxBatch
-		serverCfg.GenTokenBudget = *genTokenBudget
-		serverCfg.GenDefaultMaxNew = *genMaxNew
 		attn := "grouped ragged"
 		if *genPerRow {
 			attn = "per-row oracle"
 		}
 		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d, %s decode attention, batched packed prefill",
-			decCfg.Layers, decCfg.Hidden, *genMaxBatch, attn)
+			*layers, *hidden, *genMaxBatch, attn)
 	}
-	srv, err := turbo.NewServer(serverCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("signal received: draining (timeout %v)...", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Stop accepting connections first, then drain the job queue and
+		// join the dispatchers.
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete, aborted remaining work: %v", err)
+		} else {
+			log.Printf("drained cleanly")
+		}
+	}()
 
 	fmt.Printf("turbo-serve: %s model (%d layers, hidden %d) listening on %s\n",
 		cfg.Name, cfg.Layers, cfg.Hidden, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
 }

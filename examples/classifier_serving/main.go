@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -19,7 +20,10 @@ import (
 
 func main() {
 	cfg := turbo.BertBase().Scaled(64, 4, 256, 2)
-	engine, err := turbo.NewEngine(cfg, turbo.Options{Seed: 7, Classes: 4})
+	// One runtime, shared by every server below: NewRuntime builds the
+	// engine under functional options, Serve starts a serving framework
+	// over it.
+	rt, err := turbo.NewRuntime(cfg, turbo.WithSeed(7), turbo.WithClasses(4), turbo.WithMaxBatch(8))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +40,7 @@ func main() {
 			toks[i] = row
 		}
 		start := time.Now()
-		if _, _, err := engine.Encode(toks); err != nil {
+		if _, _, err := rt.Engine.Encode(toks); err != nil {
 			log.Fatal(err)
 		}
 		return time.Since(start)
@@ -52,11 +56,7 @@ func main() {
 	}
 
 	for _, sc := range schedulers {
-		srv, err := turbo.NewServer(turbo.ServerConfig{
-			Engine:    engine,
-			Scheduler: sc.s,
-			MaxBatch:  8,
-		})
+		srv, err := rt.Serve(turbo.WithScheduler(sc.s))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +67,10 @@ func main() {
 			sc.name, served, elapsed.Seconds()*1e3, float64(served)/elapsed.Seconds())
 
 		ts.Close()
-		srv.Close()
+		// Graceful drain: everything admitted is served, workers joined.
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

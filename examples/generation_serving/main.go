@@ -8,6 +8,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -23,26 +24,26 @@ func main() {
 	encCfg := turbo.BertBase().Scaled(64, 4, 256, 2)
 	decCfg := turbo.Seq2SeqDecoder().Scaled(64, 4, 256, 2)
 
-	engine, err := turbo.NewEngine(encCfg, turbo.Options{Seed: 7, Classes: 4})
+	// One Serve call is the whole server: classify engine, generation
+	// engine, schedulers, and the unified admission queue, all configured
+	// through functional options.
+	srv, err := turbo.Serve(encCfg,
+		turbo.WithSeed(7),
+		turbo.WithClasses(4),
+		turbo.WithMaxBatch(8),
+		turbo.WithGeneration(decCfg),
+		turbo.WithGenMaxBatch(8),
+		turbo.WithGenDefaultMaxNew(24),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	genEngine, err := turbo.NewGenEngine(encCfg, decCfg, turbo.Options{Seed: 11})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := turbo.NewServer(turbo.ServerConfig{
-		Engine:           engine,
-		Scheduler:        turbo.NewDPScheduler(turbo.CostFunc(func(l, b int) time.Duration { return time.Duration(l*b) * time.Microsecond }), 8),
-		MaxBatch:         8,
-		GenEngine:        genEngine,
-		GenMaxBatch:      8,
-		GenDefaultMaxNew: 24,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
+	// Graceful drain on exit: in-flight generations finish, workers join.
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -1,9 +1,10 @@
 // Quickstart: the Go equivalent of the paper's §6.1 usability snippet —
-// build a transformer model, run variable-length inference through the
-// TurboTransformers runtime, and observe the memory manager at work.
+// build a transformer runtime through the functional-options front door,
+// run variable-length inference, and observe the memory manager at work.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,11 +17,11 @@ func main() {
 	// turbo.BertBase() unchanged for the full-size model.
 	cfg := turbo.BertBase().Scaled(128, 4, 512, 4)
 
-	engine, err := turbo.NewEngine(cfg, turbo.Options{
-		Seed:      42,
-		Allocator: turbo.AllocTurbo, // Algorithm 1: the variable-length-aware allocator
-		Classes:   2,
-	})
+	rt, err := turbo.NewRuntime(cfg,
+		turbo.WithSeed(42),
+		turbo.WithAllocator(turbo.AllocTurbo), // Algorithm 1: the variable-length-aware allocator
+		turbo.WithClasses(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	}
 	for _, toks := range requests {
 		start := time.Now()
-		hidden, seqLens, err := engine.Encode([][]int{toks})
+		hidden, seqLens, err := rt.Engine.Encode([][]int{toks})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,14 +46,15 @@ func main() {
 	}
 
 	// Batched classification with masking: short requests ride along with
-	// long ones without changing their results.
-	classes, err := engine.Classify(requests)
+	// long ones without changing their results. The context travels into
+	// the pipeline — cancel it and the remaining stages never run.
+	classes, err := rt.Classify(context.Background(), requests)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("classes: %v\n", classes)
 
-	stats := engine.MemoryStats()
+	stats := rt.Engine.MemoryStats()
 	fmt.Printf("device memory: live %.2f MB, peak %.2f MB, %d allocs / %d frees\n",
 		float64(stats.LiveBytes)/1e6, float64(stats.PeakBytes)/1e6,
 		stats.AllocCount, stats.FreeCount)

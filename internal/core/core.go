@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -186,20 +187,34 @@ func (e *Engine) EncodePacked(batchTokens [][]int) (*tensor.Packed, error) {
 	return out, nil
 }
 
-// Classify runs the full pipeline and returns one class per request.
-func (e *Engine) Classify(batchTokens [][]int) ([]int, error) {
+// Classify runs the full pipeline and returns one class per request. The
+// context is checked at stage boundaries (before the encoder pass and
+// before the classification head), so a cancelled caller — a disconnected
+// client, an aborted server — stops the pipeline without computing the
+// remaining stages. A batch already inside an encoder forward runs that
+// stage to completion; cancellation granularity is one stage.
+func (e *Engine) Classify(ctx context.Context, batchTokens [][]int) ([]int, error) {
 	if e.Classifier == nil {
 		return nil, fmt.Errorf("core: engine built without a classification head")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if e.packed {
 		hidden, err := e.EncodePacked(batchTokens)
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return e.Classifier.PredictPacked(hidden)
 	}
 	hidden, _, err := e.Encode(batchTokens)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return e.Classifier.Predict(hidden)

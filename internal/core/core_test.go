@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -15,14 +16,14 @@ func TestEngineClassifyPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	preds, err := e.Classify([][]int{{3, 4, 5, 6}, {7, 8}})
+	preds, err := e.Classify(context.Background(), [][]int{{3, 4, 5, 6}, {7, 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(preds) != 2 {
 		t.Fatalf("preds: %v", preds)
 	}
-	again, err := e.Classify([][]int{{3, 4, 5, 6}, {7, 8}})
+	again, err := e.Classify(context.Background(), [][]int{{3, 4, 5, 6}, {7, 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,11 +41,11 @@ func TestBatchingInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solo, err := e.Classify([][]int{{10, 11, 12}})
+	solo, err := e.Classify(context.Background(), [][]int{{10, 11, 12}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	batched, err := e.Classify([][]int{{10, 11, 12}, {20, 21, 22, 23, 24, 25, 26, 27}})
+	batched, err := e.Classify(context.Background(), [][]int{{10, 11, 12}, {20, 21, 22, 23, 24, 25, 26, 27}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestEngineErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Classify([][]int{{1}}); err == nil {
+	if _, err := e.Classify(context.Background(), [][]int{{1}}); err == nil {
 		t.Fatal("classify without head should error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,11 +38,11 @@ func TestPackedEngineMatchesPaddedEngine(t *testing.T) {
 			batch[i] = toks
 			wantTokens += int64(len(toks))
 		}
-		cPad, err := padded.Classify(batch)
+		cPad, err := padded.Classify(context.Background(), batch)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cPack, err := packed.Classify(batch)
+		cPack, err := packed.Classify(context.Background(), batch)
 		if err != nil {
 			t.Fatal(err)
 		}

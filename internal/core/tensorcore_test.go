@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -42,11 +43,11 @@ func TestTensorCorePrecisionLossMinimal(t *testing.T) {
 	}
 
 	// Classifications are unchanged.
-	pa, err := fp32.Classify(toks)
+	pa, err := fp32.Classify(context.Background(), toks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := tc.Classify(toks)
+	pb, err := tc.Classify(context.Background(), toks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,6 +78,20 @@ type GenSession struct {
 	pos    int   // next decode position
 	maxNew int
 	done   bool
+	ctx    context.Context // nil = never cancelled
+}
+
+// Bind attaches a lifecycle context to the session. The decode loop driving
+// the session checks Cancelled between iterations and evicts the session
+// (releasing its KV reservation) within one step of the context ending —
+// Step itself never aborts a batch mid-iteration, so cancelling one
+// session's context cannot perturb its batch-mates' token streams.
+func (s *GenSession) Bind(ctx context.Context) { s.ctx = ctx }
+
+// Cancelled reports whether the session's bound context (if any) has ended
+// — the per-iteration check continuous-batching loops make between steps.
+func (s *GenSession) Cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
 }
 
 // Generated returns the tokens produced so far.

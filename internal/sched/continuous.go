@@ -14,8 +14,21 @@ type GenRequest struct {
 	PromptLen int     // prompt tokens (encoder-side cost, cross-attention width)
 	MaxNew    int     // generation budget (worst-case KV length)
 	Arrival   float64 // arrival time in seconds (virtual or wall)
+	// Deadline is the absolute time (same clock as Arrival, seconds) past
+	// which the request should be dropped instead of scheduled; 0 = none.
+	// Enforcement lives in the serving layer (drop before prefill, count);
+	// the field travels with the request so admission policies can see it.
+	Deadline float64
+	// Priority orders admission within the queue: higher first, ties FCFS.
+	Priority int
 	// Payload carries application data through the scheduler untouched.
 	Payload interface{}
+}
+
+// Expired reports whether the request's deadline (if any) has passed at
+// the given time (same clock as Arrival).
+func (r *GenRequest) Expired(now float64) bool {
+	return r.Deadline > 0 && now > r.Deadline
 }
 
 // ContinuousScheduler performs iteration-level (continuous) batching for

@@ -10,8 +10,23 @@ type Request struct {
 	ID      int64
 	Length  int     // sequence length in tokens
 	Arrival float64 // arrival time in seconds (virtual or wall)
+	// Deadline is the absolute time (same clock as Arrival, seconds) past
+	// which the request is no longer worth executing; 0 means none. The
+	// schedulers themselves do not drop requests — the serving layer filters
+	// expired requests before scheduling and counts them — but the field
+	// travels with the request so policies can consult it.
+	Deadline float64
+	// Priority orders requests of the same kind at admission: higher runs
+	// first, ties break FCFS. 0 is the default class.
+	Priority int
 	// Payload carries application data through the scheduler untouched.
 	Payload interface{}
+}
+
+// Expired reports whether the request's deadline (if any) has passed at
+// the given time (same clock as Arrival).
+func (r *Request) Expired(now float64) bool {
+	return r.Deadline > 0 && now > r.Deadline
 }
 
 // Batch is a scheduled group of requests executed together. On the padded

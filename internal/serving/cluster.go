@@ -47,6 +47,11 @@ type ClusterConfig struct {
 	NewScheduler func() sched.Scheduler
 	Cost         sched.CostModel
 	MaxBatch     int
+
+	// DeadlineSec drops a request still waiting in a server's queue this
+	// many seconds after arrival instead of scheduling it (0 = none) —
+	// the cluster analogue of the serving layer's per-job deadline.
+	DeadlineSec float64
 }
 
 // ClusterResult reports one cluster run.
@@ -59,6 +64,9 @@ type ClusterResult struct {
 	// PerServerServed shows balance quality.
 	PerServerServed []int64
 	Saturated       bool
+	// Expired counts requests dropped past their deadline before
+	// scheduling (only non-zero when DeadlineSec is set).
+	Expired int64
 }
 
 // clusterServer is one simulated GPU + queue, the per-server core of the
@@ -75,6 +83,7 @@ type clusterServer struct {
 	measureLo, measureHi float64
 	stats                *simclock.LatencyStats
 	served               int64
+	expired              int64
 }
 
 func (s *clusterServer) enqueue(r *sched.Request) {
@@ -84,6 +93,20 @@ func (s *clusterServer) enqueue(r *sched.Request) {
 
 func (s *clusterServer) dispatch() {
 	if s.busy || len(s.mq) == 0 {
+		return
+	}
+	// Requests past their deadline are dropped before scheduling, exactly
+	// like the live server's admission filter.
+	live := s.mq[:0]
+	for _, r := range s.mq {
+		if r.Expired(s.sim.Now()) {
+			s.expired++
+			continue
+		}
+		live = append(live, r)
+	}
+	s.mq = live
+	if len(s.mq) == 0 {
 		return
 	}
 	window := 16 * s.maxBatch
@@ -176,7 +199,11 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 		if cfg.LenHi > cfg.LenLo {
 			length += rng.Intn(cfg.LenHi - cfg.LenLo + 1)
 		}
-		pick().enqueue(&sched.Request{ID: nextID, Length: length, Arrival: sim.Now()})
+		deadline := 0.0
+		if cfg.DeadlineSec > 0 {
+			deadline = sim.Now() + cfg.DeadlineSec
+		}
+		pick().enqueue(&sched.Request{ID: nextID, Length: length, Arrival: sim.Now(), Deadline: deadline})
 	})
 	sim.Run(measureHi)
 
@@ -188,6 +215,7 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	for i, s := range servers {
 		res.Served += s.served
 		res.PerServerServed[i] = s.served
+		res.Expired += s.expired
 		backlog += len(s.mq)
 	}
 	res.ServedPerSec = float64(res.Served) / cfg.Duration

@@ -93,6 +93,24 @@ func TestClusterRoundRobinEvenSplit(t *testing.T) {
 	}
 }
 
+// TestClusterDeadlineShedsOverload: under heavy overload a per-request
+// deadline must shed backlog as expired drops while the cluster keeps
+// serving; without deadlines nothing expires.
+func TestClusterDeadlineShedsOverload(t *testing.T) {
+	cfg := clusterCfg(2, 8000, LeastQueue)
+	cfg.DeadlineSec = 0.05
+	res := RunClusterSim(cfg)
+	if res.Expired == 0 {
+		t.Fatalf("overloaded cluster with 50ms deadline expired nothing: %+v", res)
+	}
+	if res.Served == 0 {
+		t.Fatalf("deadline cluster served nothing: %+v", res)
+	}
+	if free := RunClusterSim(clusterCfg(2, 8000, LeastQueue)); free.Expired != 0 {
+		t.Fatalf("no-deadline cluster expired %d", free.Expired)
+	}
+}
+
 func TestClusterDefaults(t *testing.T) {
 	cfg := clusterCfg(0, 50, RoundRobin)
 	cfg.MaxBatch = 0

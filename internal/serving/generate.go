@@ -2,9 +2,7 @@ package serving
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,41 +39,26 @@ type genEvent struct {
 	err  error
 }
 
-// queuedGen is one in-flight generation request.
-type queuedGen struct {
-	tokens  []int
-	maxNew  int
-	arrival time.Time
-	// events is buffered for the full token budget plus the terminal
-	// event, so the decode loop never blocks on a slow (or gone) client.
-	events chan genEvent
-	// cancelled is set by the handler when the client goes away; the
-	// decode loop evicts the request at the next iteration boundary so a
-	// dead client does not hold a batch slot or its token reservation.
-	cancelled atomic.Bool
-}
-
-// liveGen pairs an admitted request with its decode session.
+// liveGen pairs an admitted job with its decode session.
 type liveGen struct {
 	id   int64
-	req  *queuedGen
+	job  *Job
 	sess *model.GenSession
 }
 
-// genServer is the continuous-batching generation half of Server: a
-// ContinuousScheduler gating admission and one decode loop that advances
-// every live session a token at a time, admitting and evicting between
-// iterations (iteration-level batching, in contrast to the classifier
-// path's whole-batch scheduling).
-type genServer struct {
+// genDispatcher is the continuous-batching generation path behind the
+// admission queue: a ContinuousScheduler gating admission and one decode
+// loop that advances every live session a token at a time, admitting and
+// evicting between iterations (iteration-level batching, in contrast to
+// the classify dispatcher's whole-batch scheduling). Each live session is
+// bound to its job's context, and the loop checks that context between
+// iterations — a disconnected client or a passed deadline is evicted
+// within one decode step, its KV reservation released.
+type genDispatcher struct {
+	srv           *Server
 	engine        *core.GenEngine
 	sched         *sched.ContinuousScheduler
 	defaultMaxNew int
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	closed bool
-	nextID int64
 
 	requests  atomic.Int64
 	tokensOut atomic.Int64
@@ -83,121 +66,135 @@ type genServer struct {
 	peakBatch atomic.Int64
 }
 
-func newGenServer(engine *core.GenEngine, maxBatch, tokenBudget, defaultMaxNew int) *genServer {
+func newGenDispatcher(srv *Server, engine *core.GenEngine, maxBatch, tokenBudget, defaultMaxNew int) *genDispatcher {
 	if defaultMaxNew < 1 {
 		defaultMaxNew = 32
 	}
-	gs := &genServer{
+	d := &genDispatcher{
+		srv:           srv,
 		engine:        engine,
 		sched:         sched.NewContinuousScheduler(maxBatch, tokenBudget),
 		defaultMaxNew: defaultMaxNew,
 	}
-	gs.sched.Cancelled = func(r *sched.GenRequest) bool {
-		return r.Payload.(*queuedGen).cancelled.Load()
+	// The admission hook drops a queue-head job whose lifecycle ended while
+	// it waited — deadline passed or client gone — failing it (the events
+	// channel is buffered) and counting it, so a dead request at the FCFS
+	// head cannot block live ones behind it while its reservation would not
+	// fit. This is the "dropped before scheduling" half of deadline
+	// enforcement; the per-iteration check below is the in-flight half.
+	d.sched.Cancelled = func(r *sched.GenRequest) bool {
+		j := r.Payload.(*Job)
+		err := j.dropErr(time.Now())
+		if err == nil {
+			return false
+		}
+		d.srv.countDrop(err)
+		j.fail(err)
+		return true
 	}
-	gs.cond = sync.NewCond(&gs.mu)
-	go gs.worker()
-	return gs
+	return d
 }
 
-// submit queues a generation request for the decode loop.
-func (gs *genServer) submit(q *queuedGen) error {
-	gs.mu.Lock()
-	defer gs.mu.Unlock()
-	if gs.closed {
-		return fmt.Errorf("serving: server closed")
-	}
-	gs.nextID++
-	gs.sched.Enqueue(&sched.GenRequest{
-		ID:        gs.nextID,
-		PromptLen: len(q.tokens),
-		MaxNew:    q.maxNew,
-		Arrival:   float64(q.arrival.UnixNano()) / 1e9,
-		Payload:   q,
-	})
-	gs.cond.Signal()
-	return nil
-}
+// Kind implements Dispatcher.
+func (d *genDispatcher) Kind() JobKind { return JobGenerate }
 
-func (gs *genServer) close() {
-	gs.mu.Lock()
-	gs.closed = true
-	gs.mu.Unlock()
-	gs.cond.Broadcast()
-}
-
-// worker is the continuous-batching decode loop. Each turn: admit whatever
-// fits, run ONE decode iteration across all live sessions, deliver each
-// new token, and evict finished sessions — so requests join and leave at
-// token granularity.
-func (gs *genServer) worker() {
+// Run implements Dispatcher: the continuous-batching decode loop. Each
+// turn: pull newly admitted jobs from the shared queue, evict sessions
+// whose context ended, admit whatever fits, run ONE decode iteration
+// across all live sessions, deliver each new token, and evict finished
+// sessions — so requests join and leave at token granularity.
+func (d *genDispatcher) Run(q *Queue) {
 	var live []*liveGen
-
-	fail := func(q *queuedGen, err error) {
-		q.events <- genEvent{err: err}
-	}
+	root := d.srv.root
 
 	for {
-		gs.mu.Lock()
-		for gs.sched.Idle() && len(live) == 0 && !gs.closed {
-			gs.cond.Wait()
-		}
-		closed := gs.closed
-		gs.mu.Unlock()
-		if closed {
-			for _, r := range gs.sched.Drain() {
-				fail(r.Payload.(*queuedGen), fmt.Errorf("serving: server closed"))
+		// Abort: fail everything still queued or running, then leave.
+		if root.Err() != nil {
+			for _, r := range d.sched.Drain() {
+				r.Payload.(*Job).fail(ErrServerClosed)
 			}
 			for _, lg := range live {
-				gs.sched.Evict(lg.id)
+				d.sched.Evict(lg.id)
 				lg.sess.Close()
-				fail(lg.req, fmt.Errorf("serving: server closed"))
+				lg.job.fail(ErrServerClosed)
 			}
 			return
 		}
 
-		// Eviction of abandoned requests happens at iteration boundaries,
-		// before admission frees up against the batch and token limits.
+		// Pull new work from the shared admission queue — blocking only
+		// when fully idle, so a running batch keeps stepping while arrivals
+		// trickle in.
+		idle := d.sched.Idle() && len(live) == 0
+		jobs, ok := q.take(JobGenerate, idle)
+		if !ok && d.sched.Idle() && len(live) == 0 {
+			return // queue finished and nothing left to serve
+		}
+		for _, j := range jobs {
+			d.sched.Enqueue(&sched.GenRequest{
+				ID:        j.ID,
+				PromptLen: len(j.Tokens),
+				MaxNew:    j.MaxNew,
+				Arrival:   secs(j.Arrival),
+				Deadline:  secs(j.Deadline),
+				Priority:  j.Priority,
+				Payload:   j,
+			})
+		}
+
+		// Context check between iterations: sessions whose job context
+		// ended (client disconnect, deadline) are evicted at this boundary,
+		// releasing their batch slot and KV token reservation.
+		now := time.Now()
 		kept := live[:0]
 		for _, lg := range live {
-			if lg.req.cancelled.Load() {
-				gs.sched.Evict(lg.id)
+			if lg.sess.Cancelled() {
+				err := lg.job.dropErr(now)
+				if err == nil {
+					err = ErrServerClosed
+				}
+				d.sched.Evict(lg.id)
 				lg.sess.Close()
+				d.srv.countDrop(err)
+				lg.job.fail(err)
 				continue
 			}
 			kept = append(kept, lg)
 		}
 		live = kept
 
-		// Admission: start sessions for everything the scheduler lets in.
-		// All admitted prompts prefill as ONE packed encoder pass — a batch
-		// of ragged prefill slots between decode iterations — instead of one
+		// Admission: start sessions for everything the scheduler lets in
+		// (the admission hook has already dropped dead queue heads). All
+		// admitted prompts prefill as ONE packed encoder pass — a batch of
+		// ragged prefill slots between decode iterations — instead of one
 		// padded encode per request.
 		var ids []int64
 		var prompts [][]int
 		var budgets []int
-		var admitted []*queuedGen
-		for _, r := range gs.sched.Admit() {
-			q := r.Payload.(*queuedGen)
-			if q.cancelled.Load() {
-				gs.sched.Evict(r.ID)
+		var admitted []*Job
+		for _, r := range d.sched.Admit() {
+			j := r.Payload.(*Job)
+			if err := j.dropErr(now); err != nil {
+				d.sched.Evict(r.ID)
+				d.srv.countDrop(err)
+				j.fail(err)
 				continue
 			}
 			ids = append(ids, r.ID)
-			prompts = append(prompts, q.tokens)
-			budgets = append(budgets, q.maxNew)
-			admitted = append(admitted, q)
+			prompts = append(prompts, j.Tokens)
+			budgets = append(budgets, j.MaxNew)
+			admitted = append(admitted, j)
 		}
 		if len(admitted) > 0 {
-			sessions, err := gs.engine.StartSessions(ids, prompts, budgets)
+			sessions, err := d.engine.StartSessions(ids, prompts, budgets)
 			if err != nil {
-				for i, q := range admitted {
-					gs.sched.Evict(ids[i])
-					fail(q, err)
+				for i, j := range admitted {
+					d.sched.Evict(ids[i])
+					j.fail(err)
 				}
 			} else {
-				for i, q := range admitted {
-					live = append(live, &liveGen{id: ids[i], req: q, sess: sessions[i]})
+				for i, j := range admitted {
+					sessions[i].Bind(j.Context())
+					live = append(live, &liveGen{id: ids[i], job: j, sess: sessions[i]})
 				}
 			}
 		}
@@ -210,31 +207,31 @@ func (gs *genServer) worker() {
 		for i, lg := range live {
 			sessions[i] = lg.sess
 		}
-		toks, err := gs.engine.Step(sessions)
+		toks, err := d.engine.Step(sessions)
 		if err != nil {
 			for _, lg := range live {
-				gs.sched.Evict(lg.id)
+				d.sched.Evict(lg.id)
 				lg.sess.Close()
-				fail(lg.req, err)
+				lg.job.fail(err)
 			}
 			live = nil
 			continue
 		}
-		gs.stepsRun.Add(1)
-		gs.tokensOut.Add(int64(len(live)))
-		for prev := gs.peakBatch.Load(); int64(len(live)) > prev; prev = gs.peakBatch.Load() {
-			if gs.peakBatch.CompareAndSwap(prev, int64(len(live))) {
+		d.stepsRun.Add(1)
+		d.tokensOut.Add(int64(len(live)))
+		for prev := d.peakBatch.Load(); int64(len(live)) > prev; prev = d.peakBatch.Load() {
+			if d.peakBatch.CompareAndSwap(prev, int64(len(live))) {
 				break
 			}
 		}
 
 		alive := live[:0]
 		for i, lg := range live {
-			lg.req.events <- genEvent{tok: toks[i]}
+			lg.job.events <- genEvent{tok: toks[i]}
 			if lg.sess.Done() {
-				gs.sched.Evict(lg.id)
+				d.sched.Evict(lg.id)
 				lg.sess.Close()
-				lg.req.events <- genEvent{done: true}
+				lg.job.events <- genEvent{done: true}
 				continue
 			}
 			alive = append(alive, lg)
@@ -248,6 +245,12 @@ type generateRequest struct {
 	Text         string `json:"text"`
 	MaxNewTokens int    `json:"max_new_tokens"`
 	Stream       bool   `json:"stream"`
+	// DeadlineMS is an optional per-job deadline in milliseconds from
+	// arrival; a generation still unscheduled past it is dropped with 504,
+	// and a running one is evicted at the next iteration boundary.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Priority admits higher values first within a kind (ties FCFS).
+	Priority int `json:"priority,omitempty"`
 }
 
 // generateResponse is the aggregate (non-streaming) reply.
@@ -271,66 +274,66 @@ type streamChunk struct {
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	if s.gen == nil {
-		http.Error(w, "generation not enabled on this server", http.StatusServiceUnavailable)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if s.gen == nil {
+		httpError(w, http.StatusServiceUnavailable, "generation not enabled on this server")
 		return
 	}
 	var req generateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
-		http.Error(w, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}", http.StatusBadRequest)
+		httpError(w, http.StatusBadRequest, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}")
 		return
 	}
-	gs := s.gen
-	gs.requests.Add(1)
+	d := s.gen
+	d.requests.Add(1)
 	maxNew := req.MaxNewTokens
 	if maxNew <= 0 {
-		maxNew = gs.defaultMaxNew
+		maxNew = d.defaultMaxNew
 	}
-	if limit := gs.engine.DecCfg.MaxTargetLen; maxNew > limit {
+	if limit := d.engine.DecCfg.MaxTargetLen; maxNew > limit {
 		maxNew = limit
 	}
 	start := time.Now()
-	q := &queuedGen{
-		tokens:  Tokenize(req.Text, gs.engine.Cfg.Vocab),
-		maxNew:  maxNew,
-		arrival: start,
-		events:  make(chan genEvent, maxNew+2),
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	if err := gs.submit(q); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	job, err := s.submit(JobGenerate, Tokenize(req.Text, d.engine.Cfg.Vocab), maxNew, req.Priority, deadline, r.Context())
+	if err != nil {
+		writeJobError(w, err)
 		return
 	}
+	defer job.Cancel()
 
-	// A client disconnect marks the request cancelled; the decode loop
-	// evicts it at the next iteration boundary instead of generating the
-	// rest of the budget into the void.
+	// A client disconnect cancels the job's context; the decode loop evicts
+	// it at the next iteration boundary instead of generating the rest of
+	// the budget into the void.
 	clientGone := r.Context().Done()
-	vocab := gs.engine.DecCfg.Vocab
+	vocab := d.engine.DecCfg.Vocab
 	if !req.Stream {
 		var toks []int
 		for {
 			select {
-			case ev := <-q.events:
+			case ev := <-job.events:
 				if ev.err != nil {
-					http.Error(w, ev.err.Error(), http.StatusInternalServerError)
+					writeJobError(w, ev.err)
 					return
 				}
 				if ev.done {
 					writeJSON(w, generateResponse{
 						Tokens:       toks,
 						Text:         Detokenize(toks, vocab),
-						PromptTokens: len(q.tokens),
+						PromptTokens: len(job.Tokens),
 						LatencyMS:    float64(time.Since(start)) / 1e6,
 					})
 					return
 				}
 				toks = append(toks, ev.tok)
 			case <-clientGone:
-				q.cancelled.Store(true)
+				job.Cancel()
 				return
 			}
 		}
@@ -342,7 +345,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	for {
 		select {
-		case ev := <-q.events:
+		case ev := <-job.events:
 			if ev.err != nil {
 				// Headers are already out; deliver the error as a chunk.
 				_ = enc.Encode(streamChunk{Done: true, Tokens: n, Error: ev.err.Error()})
@@ -354,14 +357,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			}
 			n++
 			if err := enc.Encode(streamChunk{Token: ev.tok, Text: Detokenize([]int{ev.tok}, vocab)}); err != nil {
-				q.cancelled.Store(true)
+				job.Cancel()
 				return
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 		case <-clientGone:
-			q.cancelled.Store(true)
+			job.Cancel()
 			return
 		}
 	}

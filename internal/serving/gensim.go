@@ -34,6 +34,11 @@ type GenSimConfig struct {
 	MaxBatch    int
 	TokenBudget int // continuous mode only; 0 = unlimited
 
+	// DeadlineSec drops a request still waiting for admission this many
+	// seconds after arrival instead of scheduling it (0 = no deadlines) —
+	// the simulator analogue of the serving layer's per-job deadline.
+	DeadlineSec float64
+
 	// Continuous selects iteration-level batching via
 	// sched.ContinuousScheduler; otherwise Scheduler partitions the queue
 	// into static request-level batches that run start to finish.
@@ -58,6 +63,9 @@ type GenSimResult struct {
 	LatencyAvg, LatencyP50, LatencyP99, LatencyMax float64
 	Saturated                                      bool
 	FinalQueueLen                                  int
+	// Expired counts requests dropped past their deadline before
+	// scheduling (only non-zero when DeadlineSec is set).
+	Expired int64
 }
 
 // genSimReq is one simulated generation request.
@@ -89,6 +97,7 @@ func RunGenServingSim(cfg GenSimConfig) GenSimResult {
 		latencies []float64
 		served    int64
 		tokensOut int64
+		expired   int64
 		measureLo = cfg.Warmup
 		measureHi = cfg.Warmup + cfg.Duration
 	)
@@ -102,9 +111,9 @@ func RunGenServingSim(cfg GenSimConfig) GenSimResult {
 
 	var queueLen func() int
 	if cfg.Continuous {
-		queueLen = runGenContinuous(sim, cfg, prefill, complete)
+		queueLen = runGenContinuous(sim, cfg, prefill, complete, &expired)
 	} else {
-		queueLen = runGenStatic(sim, cfg, prefill, complete)
+		queueLen = runGenStatic(sim, cfg, prefill, complete, &expired)
 	}
 
 	sim.Run(measureHi)
@@ -115,6 +124,7 @@ func RunGenServingSim(cfg GenSimConfig) GenSimResult {
 		ServedPerSec:  float64(served) / cfg.Duration,
 		TokensPerSec:  float64(tokensOut) / cfg.Duration,
 		FinalQueueLen: queueLen(),
+		Expired:       expired,
 	}
 	if len(latencies) == 0 {
 		res.LatencyAvg, res.LatencyP50, res.LatencyP99, res.LatencyMax =
@@ -175,7 +185,7 @@ func sampleReq(cfg *GenSimConfig, rng *rand.Rand, id int64, now float64) *genSim
 // batch decodes with every row padded to the batch maximum and retires
 // only when its longest member finishes, which is exactly the straggler
 // and padding waste continuous batching removes.
-func runGenStatic(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Duration, complete func(*genSimReq)) func() int {
+func runGenStatic(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Duration, complete func(*genSimReq), expired *int64) func() int {
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	var (
 		mq     []*genSimReq
@@ -219,6 +229,22 @@ func runGenStatic(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Du
 	dispatch = func() {
 		if busy || len(mq) == 0 {
 			return
+		}
+		// Deadline enforcement mirrors the serving layer: a request past
+		// its deadline is dropped before scheduling, never batched.
+		if cfg.DeadlineSec > 0 {
+			kept := mq[:0]
+			for _, r := range mq {
+				if sim.Now() > r.arrival+cfg.DeadlineSec {
+					*expired++
+					continue
+				}
+				kept = append(kept, r)
+			}
+			mq = kept
+			if len(mq) == 0 {
+				return
+			}
 		}
 		view := mq
 		if len(view) > window {
@@ -276,9 +302,20 @@ func runGenStatic(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Du
 // runGenContinuous wires iteration-level batching through the real
 // ContinuousScheduler: admission between decode steps, ragged per-row
 // contexts, eviction the moment a request finishes.
-func runGenContinuous(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Duration, complete func(*genSimReq)) func() int {
+func runGenContinuous(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) time.Duration, complete func(*genSimReq), expired *int64) func() int {
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	cs := sched.NewContinuousScheduler(cfg.MaxBatch, cfg.TokenBudget)
+	if cfg.DeadlineSec > 0 {
+		// The admission hook drops expired queue heads exactly like the
+		// live genDispatcher does.
+		cs.Cancelled = func(r *sched.GenRequest) bool {
+			if r.Expired(sim.Now()) {
+				*expired++
+				return true
+			}
+			return false
+		}
+	}
 	var (
 		live   []*genSimReq
 		busy   bool
@@ -325,11 +362,16 @@ func runGenContinuous(sim *simclock.Sim, cfg GenSimConfig, prefill func(int) tim
 	sim.PoissonArrivals(cfg.Rate, cfg.Seed, cfg.Warmup+cfg.Duration, func(int64) {
 		nextID++
 		q := sampleReq(&cfg, rng, nextID, sim.Now())
+		deadline := 0.0
+		if cfg.DeadlineSec > 0 {
+			deadline = q.arrival + cfg.DeadlineSec
+		}
 		cs.Enqueue(&sched.GenRequest{
 			ID:        q.id,
 			PromptLen: q.promptLen,
 			MaxNew:    q.newToks,
 			Arrival:   q.arrival,
+			Deadline:  deadline,
 			Payload:   q,
 		})
 		loop()

@@ -99,6 +99,29 @@ func TestGenSimDeterminism(t *testing.T) {
 	}
 }
 
+// TestGenSimDeadlineDropsBacklog: under overload with a per-request
+// deadline, both disciplines must shed the backlog as expired drops
+// instead of queueing it forever, while still serving fresh work — and the
+// survivors' completion latency can never exceed deadline + service time
+// bounds seen without deadlines.
+func TestGenSimDeadlineDropsBacklog(t *testing.T) {
+	for _, continuous := range []bool{false, true} {
+		cfg := genSimConfig(5000, continuous) // well past either discipline's saturation
+		cfg.DeadlineSec = 0.05
+		res := RunGenServingSim(cfg)
+		if res.Expired == 0 {
+			t.Fatalf("continuous=%v: overloaded run with 50ms deadline expired nothing: %+v", continuous, res)
+		}
+		if res.Served == 0 {
+			t.Fatalf("continuous=%v: deadline run served nothing: %+v", continuous, res)
+		}
+		free := genSimConfig(5000, continuous)
+		if fr := RunGenServingSim(free); fr.Expired != 0 {
+			t.Fatalf("continuous=%v: no-deadline run expired %d", continuous, fr.Expired)
+		}
+	}
+}
+
 // TestGenSimTokenBudgetThrottles: a tight KV budget caps concurrency at
 // ~1, so at a load the full batch handles comfortably the budgeted system
 // falls behind — fewer completions, without dropping requests outright.

@@ -1,0 +1,258 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors of the job lifecycle. Handlers map them onto HTTP status
+// codes (429, 503, 504); direct API callers can errors.Is against them.
+var (
+	// ErrQueueFull is returned by Submit when the bounded admission queue
+	// is at capacity — the backpressure signal (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serving: admission queue full")
+	// ErrServerClosed is returned for jobs submitted after shutdown began
+	// and for queued jobs failed by an aborted shutdown (HTTP 503).
+	ErrServerClosed = errors.New("serving: server closed")
+	// ErrDeadlineExceeded fails jobs whose deadline passed before (or
+	// while) they were scheduled (HTTP 504).
+	ErrDeadlineExceeded = errors.New("serving: job deadline exceeded")
+)
+
+// JobKind says which execution path a job takes through the server.
+type JobKind int
+
+// The two job kinds the unified front door accepts.
+const (
+	// JobClassify runs through the DP-batched encoder path.
+	JobClassify JobKind = iota
+	// JobGenerate runs through the continuous-batching decode path.
+	JobGenerate
+)
+
+// String returns the kind's wire name.
+func (k JobKind) String() string {
+	switch k {
+	case JobClassify:
+		return "classify"
+	case JobGenerate:
+		return "generate"
+	}
+	return "unknown"
+}
+
+// Job is one unit of work flowing through the unified admission queue:
+// both /v1/classify and /v1/generate submit Jobs, and both execution paths
+// consume them through the same Dispatcher contract. A Job carries its
+// lifecycle context end-to-end — dispatchers check it between scheduling
+// decisions and decode iterations, so a disconnected client or an expired
+// deadline stops the work within one iteration and releases whatever the
+// job had reserved.
+type Job struct {
+	ID       int64
+	Kind     JobKind
+	Tokens   []int
+	MaxNew   int       // generation budget; JobGenerate only
+	Priority int       // higher admits first within a kind; ties FCFS
+	Deadline time.Time // drop-dead time; zero = none
+	Arrival  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// result delivers the classify outcome (buffered, capacity 1).
+	result chan jobResult
+	// events delivers the generation stream (buffered for the full token
+	// budget plus the terminal event, so the decode loop never blocks on a
+	// slow or vanished client).
+	events chan genEvent
+}
+
+// jobResult is a classify job's outcome.
+type jobResult struct {
+	class     int
+	batchSize int
+	err       error
+}
+
+// newJob builds a job whose lifecycle context is derived from parent
+// (typically the HTTP request context) plus the deadline, if any.
+func newJob(id int64, kind JobKind, tokens []int, parent context.Context, deadline time.Time) *Job {
+	j := &Job{
+		ID:      id,
+		Kind:    kind,
+		Tokens:  tokens,
+		Arrival: time.Now(),
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	j.Deadline = deadline
+	if !deadline.IsZero() {
+		j.ctx, j.cancel = context.WithDeadline(parent, deadline)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(parent)
+	}
+	return j
+}
+
+// Context returns the job's lifecycle context: done when the client
+// disconnected, the deadline passed, or Cancel was called.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Cancel ends the job's lifecycle context. Idempotent; safe from any
+// goroutine. The dispatcher notices at its next iteration boundary.
+func (j *Job) Cancel() { j.cancel() }
+
+// dropErr classifies why a job should be dropped right now: a deadline
+// error, a cancellation error, or nil if the job is still live.
+func (j *Job) dropErr(now time.Time) error {
+	if !j.Deadline.IsZero() && now.After(j.Deadline) {
+		return ErrDeadlineExceeded
+	}
+	switch j.ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrDeadlineExceeded
+	default:
+		return context.Canceled
+	}
+}
+
+// fail delivers err on whichever channel the job's kind reads. Buffered
+// channels make this non-blocking even when nobody is listening anymore.
+func (j *Job) fail(err error) {
+	switch j.Kind {
+	case JobClassify:
+		j.result <- jobResult{err: err}
+	case JobGenerate:
+		j.events <- genEvent{err: err}
+	}
+}
+
+// Dispatcher is the execution backend for one job kind. The two serving
+// paths — the DP-batched classify worker and the continuous-batching
+// generation loop — both implement it; the Server runs each dispatcher on
+// its own goroutine against the ONE shared admission queue and joins them
+// on Close/Shutdown.
+type Dispatcher interface {
+	// Kind names the jobs this dispatcher consumes.
+	Kind() JobKind
+	// Run consumes jobs of Kind from q until the queue is finished (drained
+	// or closed) and all owned work has completed, then returns. A graceful
+	// drain serves everything already admitted; an abort (the dispatcher's
+	// root context cancelled) fails the remainder instead.
+	Run(q *Queue)
+}
+
+// Queue is the bounded admission queue in front of both serving paths:
+// one queue, one capacity, one backpressure signal, whatever the job mix.
+// Jobs wait here until their kind's dispatcher takes them; Submit refuses
+// beyond the bound, which is what keeps overload at the front door instead
+// of in unbounded per-path buffers.
+type Queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	limit     int
+	jobs      []*Job
+	accepting bool
+	finished  bool // drain or close called; workers exit once their kind empties
+}
+
+// DefaultQueueDepth bounds the admission queue when the configuration
+// does not say otherwise.
+const DefaultQueueDepth = 256
+
+// NewQueue builds an admission queue holding at most limit jobs
+// (DefaultQueueDepth if limit < 1).
+func NewQueue(limit int) *Queue {
+	if limit < 1 {
+		limit = DefaultQueueDepth
+	}
+	q := &Queue{limit: limit, accepting: true}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Submit admits a job, or refuses with ErrQueueFull (at capacity) or
+// ErrServerClosed (shutdown has begun).
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.accepting {
+		return ErrServerClosed
+	}
+	if len(q.jobs) >= q.limit {
+		return ErrQueueFull
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Depth reports how many jobs are waiting for a dispatcher.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// take removes and returns every queued job of kind, highest priority
+// first (FCFS within a priority). With block it waits until at least one
+// such job exists; ok=false means the queue is finished and holds nothing
+// of this kind — the dispatcher's signal to wind down.
+func (q *Queue) take(kind JobKind, block bool) (jobs []*Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		var taken []*Job
+		kept := q.jobs[:0]
+		for _, j := range q.jobs {
+			if j.Kind == kind {
+				taken = append(taken, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		if len(taken) > 0 {
+			q.jobs = kept
+			sort.SliceStable(taken, func(i, j int) bool { return taken[i].Priority > taken[j].Priority })
+			return taken, true
+		}
+		if q.finished {
+			return nil, false
+		}
+		if !block {
+			return nil, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// drain stops admission but leaves queued jobs to be served; dispatchers
+// exit once their kind's backlog empties (graceful shutdown).
+func (q *Queue) drain() {
+	q.mu.Lock()
+	q.accepting = false
+	q.finished = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// close stops admission and strips the queue, returning the stranded jobs
+// for the caller to fail (abortive shutdown).
+func (q *Queue) close() []*Job {
+	q.mu.Lock()
+	q.accepting = false
+	q.finished = true
+	stranded := q.jobs
+	q.jobs = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return stranded
+}

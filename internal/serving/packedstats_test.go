@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -39,23 +40,28 @@ func statsServer(t *testing.T, packed bool) (*Server, *httptest.Server) {
 }
 
 // mixedBatch pushes one deterministic two-request mixed-length batch
-// through the server's batch runner (5 and 17 tokens → a padded engine
-// executes 2·17 rows, 12 of them padding).
+// through the classify dispatcher's batch runner (5 and 17 tokens → a
+// padded engine executes 2·17 rows, 12 of them padding).
 func mixedBatch(t *testing.T, srv *Server) {
 	t.Helper()
-	short := &queuedReq{tokens: Tokenize("hello", srv.engine.Cfg.Vocab), resp: make(chan queuedResp, 1)}
-	long := &queuedReq{tokens: Tokenize("a much longer req", srv.engine.Cfg.Vocab), resp: make(chan queuedResp, 1)}
+	mk := func(id int64, text string) *Job {
+		j := newJob(id, JobClassify, Tokenize(text, srv.engine.Cfg.Vocab), context.Background(), time.Time{})
+		j.result = make(chan jobResult, 1)
+		return j
+	}
+	short := mk(0, "hello")
+	long := mk(1, "a much longer req")
 	b := sched.Batch{
 		Requests: []*sched.Request{
-			{ID: 0, Length: len(short.tokens), Payload: short},
-			{ID: 1, Length: len(long.tokens), Payload: long},
+			{ID: 0, Length: len(short.Tokens), Payload: short},
+			{ID: 1, Length: len(long.Tokens), Payload: long},
 		},
-		PaddedLen:   len(long.tokens),
-		TotalTokens: len(short.tokens) + len(long.tokens),
+		PaddedLen:   len(long.Tokens),
+		TotalTokens: len(short.Tokens) + len(long.Tokens),
 	}
-	srv.runBatch(b)
-	for _, q := range []*queuedReq{short, long} {
-		if r := <-q.resp; r.err != nil {
+	srv.classify.runBatch(b)
+	for _, j := range []*Job{short, long} {
+		if r := <-j.result; r.err != nil {
 			t.Fatal(r.err)
 		}
 	}

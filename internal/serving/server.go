@@ -1,9 +1,11 @@
 package serving
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -15,51 +17,56 @@ import (
 )
 
 // Tokenize is the demo tokenizer: byte-level IDs offset past the special
-// tokens, clamped into the engine's vocabulary.
+// tokens, clamped into the engine's vocabulary. Vocabularies too small to
+// hold any non-special token (vocab <= 3) fold every byte onto the first
+// non-special ID instead of dividing by zero.
 func Tokenize(text string, vocab int) []int {
+	span := vocab - 3
+	if span < 1 {
+		span = 1
+	}
 	toks := make([]int, 0, len(text))
 	for _, b := range []byte(text) {
-		toks = append(toks, 3+int(b)%(vocab-3))
+		toks = append(toks, 3+int(b)%span)
 	}
 	return toks
 }
 
-// queuedReq is one in-flight HTTP request.
-type queuedReq struct {
-	tokens  []int
-	arrival time.Time
-	resp    chan queuedResp
-}
-
-type queuedResp struct {
-	class     int
-	batchSize int
-	err       error
-}
-
-// Server is the live serving framework: an HTTP front end, a message queue,
-// the response cache, and a batching worker that plays the GPU's role
-// running the CPU engine. The default trigger is the hungry strategy
-// (whenever the worker is free it drains and schedules the queue); a
-// non-zero BatchWindow switches to the lazy strategy, accumulating
-// requests for up to the window before scheduling unless a full batch is
-// already waiting (§5).
+// Server is the live serving framework: an HTTP front end, ONE bounded
+// admission queue both request kinds flow through, the response cache, and
+// two Dispatchers playing the GPU's role on the CPU engines — the
+// DP-batched classify worker (hungry by default; a non-zero BatchWindow
+// switches to the lazy strategy of §5) and the continuous-batching
+// generation loop. Every request is a Job carrying its lifecycle context:
+// backpressure is refused at the front door (ErrQueueFull → 429), expired
+// deadlines are dropped before scheduling, disconnected clients are
+// evicted between iterations, and Shutdown drains in-flight work before
+// joining the dispatcher goroutines.
 type Server struct {
-	engine      *core.Engine
-	scheduler   sched.Scheduler
-	maxBatch    int
-	batchWindow time.Duration
-	cache       *ResponseCache
-	gen         *genServer // nil unless generation is enabled
+	engine *core.Engine
+	cache  *ResponseCache
+	queue  *Queue
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*queuedReq
-	closed bool
+	classify *classifyDispatcher
+	gen      *genDispatcher // nil unless generation is enabled
+
+	// root is the server's lifetime context: cancelled on abort, checked
+	// by dispatchers between batches and decode iterations.
+	root      context.Context
+	abortRoot context.CancelFunc
+	abortOnce sync.Once
+	wg        sync.WaitGroup
+
+	nextID atomic.Int64
 
 	served       atomic.Int64
 	batchesRun   atomic.Int64
 	requestsSeen atomic.Int64
+
+	// Job-lifecycle accounting for the unified admission path.
+	jobsRejected  atomic.Int64 // refused with 429 at the full queue
+	jobsExpired   atomic.Int64 // dropped past deadline before (or at) scheduling
+	jobsCancelled atomic.Int64 // dropped because the client went away
 
 	// Padding-waste accounting per executed batch: real tokens vs padding
 	// rows the engine computed (zero on the packed path, where padding
@@ -71,6 +78,10 @@ type Server struct {
 }
 
 // ServerConfig configures NewServer.
+//
+// Deprecated: prefer the functional-options front door, turbo.Serve /
+// turbo.NewRuntime — this struct remains as the compatibility layer those
+// options compile down to.
 type ServerConfig struct {
 	Engine    *core.Engine
 	Scheduler sched.Scheduler // nil: DP over a warmed-up cost model is recommended
@@ -80,6 +91,9 @@ type ServerConfig struct {
 	// request arrives, wait up to this long for companions before
 	// scheduling (a full batch fires immediately). Zero means hungry.
 	BatchWindow time.Duration
+	// QueueDepth bounds the shared admission queue; submissions beyond it
+	// are refused with 429 (default DefaultQueueDepth).
+	QueueDepth int
 
 	// GenEngine enables the /v1/generate continuous-batching path.
 	GenEngine *core.GenEngine
@@ -93,7 +107,7 @@ type ServerConfig struct {
 	GenDefaultMaxNew int
 }
 
-// NewServer builds the serving framework and starts its batching worker.
+// NewServer builds the serving framework and starts its dispatchers.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("serving: engine required")
@@ -105,123 +119,241 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.MaxBatch = 8
 	}
 	s := &Server{
-		engine:      cfg.Engine,
+		engine: cfg.Engine,
+		queue:  NewQueue(cfg.QueueDepth),
+	}
+	s.root, s.abortRoot = context.WithCancel(context.Background())
+	if cfg.CacheSize > 0 {
+		s.cache = NewResponseCache(cfg.CacheSize)
+	}
+	s.classify = &classifyDispatcher{
+		srv:         s,
 		scheduler:   cfg.Scheduler,
 		maxBatch:    cfg.MaxBatch,
 		batchWindow: cfg.BatchWindow,
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = NewResponseCache(cfg.CacheSize)
-	}
+	s.start(s.classify)
 	if cfg.GenEngine != nil {
 		genBatch := cfg.GenMaxBatch
 		if genBatch < 1 {
 			genBatch = cfg.MaxBatch
 		}
-		s.gen = newGenServer(cfg.GenEngine, genBatch, cfg.GenTokenBudget, cfg.GenDefaultMaxNew)
+		s.gen = newGenDispatcher(s, cfg.GenEngine, genBatch, cfg.GenTokenBudget, cfg.GenDefaultMaxNew)
+		s.start(s.gen)
 	}
-	s.cond = sync.NewCond(&s.mu)
-	go s.worker()
 	return s, nil
 }
 
-// Close stops the worker; queued requests are failed.
-func (s *Server) Close() {
-	s.mu.Lock()
-	s.closed = true
-	for _, q := range s.queue {
-		q.resp <- queuedResp{err: fmt.Errorf("serving: server closed")}
-	}
-	s.queue = nil
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	if s.gen != nil {
-		s.gen.close()
+// start runs a dispatcher against the shared admission queue on its own
+// goroutine, tracked so Close/Shutdown can join it.
+func (s *Server) start(d Dispatcher) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		d.Run(s.queue)
+	}()
+}
+
+// Shutdown gracefully stops the server: admission stops immediately
+// (further submissions fail with ErrServerClosed → 503), everything
+// already admitted — queued jobs, in-flight batches, running generations —
+// is served to completion, and the dispatcher goroutines are joined. If
+// ctx ends first, the remaining work is aborted (queued jobs fail with
+// ErrServerClosed, running generations are evicted) and ctx.Err() is
+// returned after the — then prompt — join.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.queue.drain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-done
+		return ctx.Err()
 	}
 }
 
-// worker drains the queue whenever it is non-empty, optionally lingering
-// for the lazy batch window, then partitions the pending requests with the
-// batch scheduler and executes batch by batch.
-func (s *Server) worker() {
-	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
-			s.cond.Wait()
+// Close aborts the server: queued jobs are failed, running generations
+// evicted, and the dispatcher goroutines joined before returning — no
+// worker outlives Close.
+func (s *Server) Close() {
+	s.abort()
+	s.wg.Wait()
+}
+
+// abort fails everything still queued and cancels the root context so
+// dispatchers stop at their next iteration boundary.
+func (s *Server) abort() {
+	s.abortOnce.Do(func() {
+		for _, j := range s.queue.close() {
+			j.fail(ErrServerClosed)
 		}
-		if s.closed {
-			s.mu.Unlock()
+		s.abortRoot()
+	})
+}
+
+// countDrop attributes a dropped job to the expired or cancelled counter.
+func (s *Server) countDrop(err error) {
+	if errors.Is(err, ErrDeadlineExceeded) {
+		s.jobsExpired.Add(1)
+	} else {
+		s.jobsCancelled.Add(1)
+	}
+}
+
+// secs converts a wall-clock time to the float seconds the schedulers use.
+func secs(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(t.UnixNano()) / 1e9
+}
+
+// classifyDispatcher is the DP-batched classification path behind the
+// admission queue: it takes every queued classify job, optionally lingers
+// for the lazy batch window, filters out jobs that expired or whose client
+// vanished while queued, and partitions the survivors with the batch
+// scheduler (Algorithm 2), executing batch by batch.
+type classifyDispatcher struct {
+	srv         *Server
+	scheduler   sched.Scheduler
+	maxBatch    int
+	batchWindow time.Duration
+}
+
+// Kind implements Dispatcher.
+func (d *classifyDispatcher) Kind() JobKind { return JobClassify }
+
+// Run implements Dispatcher.
+func (d *classifyDispatcher) Run(q *Queue) {
+	root := d.srv.root
+	for {
+		jobs, ok := q.take(JobClassify, true)
+		if !ok {
 			return
 		}
-		pending := s.queue
-		s.queue = nil
-		s.mu.Unlock()
 
 		// Lazy strategy: give companions a window to arrive, unless a full
-		// batch is already waiting.
-		if s.batchWindow > 0 && len(pending) < s.maxBatch {
-			time.Sleep(s.batchWindow)
-			s.mu.Lock()
-			pending = append(pending, s.queue...)
-			s.queue = nil
-			s.mu.Unlock()
+		// batch is already waiting (an abort cuts the linger short).
+		if d.batchWindow > 0 && len(jobs) < d.maxBatch {
+			timer := time.NewTimer(d.batchWindow)
+			select {
+			case <-timer.C:
+			case <-root.Done():
+				timer.Stop()
+			}
+			more, _ := q.take(JobClassify, false)
+			jobs = append(jobs, more...)
 		}
 
-		// Adapt to the scheduler's view: lengths drive batching.
-		reqs := make([]*sched.Request, len(pending))
-		for i, q := range pending {
-			reqs[i] = &sched.Request{
-				ID:      int64(i),
-				Length:  len(q.tokens),
-				Arrival: float64(q.arrival.UnixNano()) / 1e9,
-				Payload: q,
+		// Deadline and cancellation are enforced before scheduling: an
+		// expired job is failed (504) and a job whose client vanished is
+		// dropped, so neither occupies a slot in any batch.
+		now := time.Now()
+		reqs := make([]*sched.Request, 0, len(jobs))
+		for _, j := range jobs {
+			if err := j.dropErr(now); err != nil {
+				d.srv.countDrop(err)
+				j.fail(err)
+				continue
 			}
+			reqs = append(reqs, &sched.Request{
+				ID:       j.ID,
+				Length:   len(j.Tokens),
+				Arrival:  secs(j.Arrival),
+				Deadline: secs(j.Deadline),
+				Priority: j.Priority,
+				Payload:  j,
+			})
 		}
-		for _, b := range s.scheduler.Schedule(reqs) {
-			s.runBatch(b)
+		if len(reqs) == 0 {
+			continue
+		}
+		for _, b := range d.scheduler.Schedule(reqs) {
+			d.runBatch(b)
 		}
 	}
 }
 
-func (s *Server) runBatch(b sched.Batch) {
-	s.batchesRun.Add(1)
-	tokens := make([][]int, b.Size())
-	for i, r := range b.Requests {
-		tokens[i] = r.Payload.(*queuedReq).tokens
+// runBatch executes one scheduled batch, re-checking each member's
+// lifecycle right before the engine runs (a client can vanish between
+// scheduling and execution).
+func (d *classifyDispatcher) runBatch(b sched.Batch) {
+	s := d.srv
+	now := time.Now()
+	jobs := make([]*Job, 0, b.Size())
+	tokens := make([][]int, 0, b.Size())
+	total, maxLen := 0, 0
+	for _, r := range b.Requests {
+		j := r.Payload.(*Job)
+		if err := j.dropErr(now); err != nil {
+			s.countDrop(err)
+			j.fail(err)
+			continue
+		}
+		jobs = append(jobs, j)
+		tokens = append(tokens, j.Tokens)
+		total += len(j.Tokens)
+		if len(j.Tokens) > maxLen {
+			maxLen = len(j.Tokens)
+		}
 	}
-	s.tokensProcessed.Add(int64(b.TotalTokens))
+	if len(jobs) == 0 {
+		return
+	}
+	s.batchesRun.Add(1)
+	s.tokensProcessed.Add(int64(total))
 	if s.engine.PackedEnabled() {
 		s.packedBatches.Add(1)
 	} else {
-		s.tokensPadded.Add(int64(b.Size()*b.PaddedLen - b.TotalTokens))
+		s.tokensPadded.Add(int64(len(jobs)*maxLen - total))
 	}
-	classes, err := s.engine.Classify(tokens)
-	for i, r := range b.Requests {
-		q := r.Payload.(*queuedReq)
+	classes, err := s.engine.Classify(s.root, tokens)
+	for i, j := range jobs {
 		if err != nil {
-			q.resp <- queuedResp{err: err}
+			j.fail(err)
 			continue
 		}
 		s.served.Add(1)
-		q.resp <- queuedResp{class: classes[i], batchSize: b.Size()}
+		j.result <- jobResult{class: classes[i], batchSize: len(jobs)}
 	}
 }
 
-// enqueue adds a request and wakes the worker.
-func (s *Server) enqueue(q *queuedReq) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("serving: server closed")
+// submit builds a job from an accepted HTTP request and offers it to the
+// shared admission queue, mapping refusals to their lifecycle errors.
+func (s *Server) submit(kind JobKind, tokens []int, maxNew, priority int, deadline time.Time, parent context.Context) (*Job, error) {
+	j := newJob(s.nextID.Add(1), kind, tokens, parent, deadline)
+	j.MaxNew = maxNew
+	j.Priority = priority
+	switch kind {
+	case JobClassify:
+		j.result = make(chan jobResult, 1)
+	case JobGenerate:
+		j.events = make(chan genEvent, maxNew+2)
 	}
-	s.queue = append(s.queue, q)
-	s.cond.Signal()
-	return nil
+	if err := s.queue.Submit(j); err != nil {
+		j.Cancel()
+		if errors.Is(err, ErrQueueFull) {
+			s.jobsRejected.Add(1)
+		}
+		return nil, err
+	}
+	return j, nil
 }
 
 // classifyRequest is the POST /v1/classify body.
 type classifyRequest struct {
 	Text string `json:"text"`
+	// DeadlineMS is an optional per-job deadline in milliseconds from
+	// arrival; a job still unscheduled past it is dropped with 504.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Priority admits higher values first within a kind (ties FCFS).
+	Priority int `json:"priority,omitempty"`
 }
 
 // classifyResponse is the reply.
@@ -232,6 +364,52 @@ type classifyResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
 }
 
+// errorResponse is the structured error body every endpoint returns.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// httpError writes a structured JSON error with the given status.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Code: code})
+}
+
+// methodNotAllowed rejects a wrong-method request with 405 and the Allow
+// header, per RFC 9110.
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	httpError(w, http.StatusMethodNotAllowed, allow+" required")
+}
+
+// jobErrorStatus maps a job lifecycle error onto its HTTP status.
+func jobErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJobError maps a lifecycle error to its status and body, adding the
+// backpressure Retry-After hint on 429.
+func writeJobError(w http.ResponseWriter, err error) {
+	code := jobErrorStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, code, err.Error())
+}
+
 // statsResponse is the GET /v1/stats reply.
 type statsResponse struct {
 	Served     int64 `json:"served"`
@@ -239,6 +417,14 @@ type statsResponse struct {
 	BatchesRun int64 `json:"batches_run"`
 	CacheHits  int64 `json:"cache_hits"`
 	CacheMiss  int64 `json:"cache_misses"`
+
+	// Job-lifecycle counters for the unified admission queue: its current
+	// depth, submissions refused at the full queue (429), jobs dropped past
+	// their deadline, and jobs dropped because the client went away.
+	QueueDepth    int64 `json:"queue_depth"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsExpired   int64 `json:"jobs_expired"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
 
 	// Zero-padding accounting: real tokens classified, padding rows the
 	// engine executed on top (always 0 when the packed path is active),
@@ -282,12 +468,12 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
-		http.Error(w, "body must be {\"text\": ...}", http.StatusBadRequest)
+		httpError(w, http.StatusBadRequest, "body must be {\"text\": ...}")
 		return
 	}
 	s.requestsSeen.Add(1)
@@ -305,31 +491,41 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	q := &queuedReq{
-		tokens:  Tokenize(req.Text, s.engine.Cfg.Vocab),
-		arrival: start,
-		resp:    make(chan queuedResp, 1),
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	if err := s.enqueue(q); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	job, err := s.submit(JobClassify, Tokenize(req.Text, s.engine.Cfg.Vocab), 0, req.Priority, deadline, r.Context())
+	if err != nil {
+		writeJobError(w, err)
 		return
 	}
-	resp := <-q.resp
-	if resp.err != nil {
-		http.Error(w, resp.err.Error(), http.StatusInternalServerError)
-		return
+	defer job.Cancel()
+	select {
+	case res := <-job.result:
+		if res.err != nil {
+			writeJobError(w, res.err)
+			return
+		}
+		if s.cache != nil {
+			s.cache.Put(key, res.class)
+		}
+		writeJSON(w, classifyResponse{
+			Class:     res.class,
+			BatchSize: res.batchSize,
+			LatencyMS: float64(time.Since(start)) / 1e6,
+		})
+	case <-r.Context().Done():
+		// Client gone: the dispatcher drops the job at its next boundary.
+		job.Cancel()
 	}
-	if s.cache != nil {
-		s.cache.Put(key, resp.class)
-	}
-	writeJSON(w, classifyResponse{
-		Class:     resp.class,
-		BatchSize: resp.batchSize,
-		LatencyMS: float64(time.Since(start)) / 1e6,
-	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
 	var hits, misses int64
 	if s.cache != nil {
 		hits, misses = s.cache.Stats()
@@ -340,6 +536,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchesRun:      s.batchesRun.Load(),
 		CacheHits:       hits,
 		CacheMiss:       misses,
+		QueueDepth:      int64(s.queue.Depth()),
+		JobsRejected:    s.jobsRejected.Load(),
+		JobsExpired:     s.jobsExpired.Load(),
+		JobsCancelled:   s.jobsCancelled.Load(),
 		TokensProcessed: s.tokensProcessed.Load(),
 		TokensPadded:    s.tokensPadded.Load(),
 		PackedBatches:   s.packedBatches.Load(),
@@ -364,7 +564,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -227,8 +228,7 @@ func TestServerCloseFailsPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.Close()
-	q := &queuedReq{tokens: []int{5}, arrival: time.Now(), resp: make(chan queuedResp, 1)}
-	if err := srv.enqueue(q); err == nil {
-		t.Fatal("enqueue after close should fail")
+	if _, err := srv.submit(JobClassify, []int{5}, 0, 0, time.Time{}, context.Background()); err == nil {
+		t.Fatal("submit after close should fail")
 	}
 }

@@ -1,0 +1,215 @@
+package turbo
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/serving"
+)
+
+// runtimeConfig is the resolved form of the functional options: engine
+// construction knobs plus everything the serving framework needs. It is
+// internal — callers only ever touch Option values.
+type runtimeConfig struct {
+	engine core.Options
+
+	// Serving.
+	scheduler   Scheduler
+	maxBatch    int
+	cacheSize   int
+	batchWindow time.Duration
+	queueDepth  int
+
+	// Generation.
+	genDecCfg        *Config
+	genMaxBatch      int
+	genTokenBudget   int
+	genDefaultMaxNew int
+}
+
+// Option configures NewRuntime and Serve — the functional-options front
+// door that replaces positional core.Options / ServerConfig wiring.
+type Option func(*runtimeConfig)
+
+// WithSeed sets the deterministic weight-initialisation seed.
+func WithSeed(seed int64) Option { return func(c *runtimeConfig) { c.engine.Seed = seed } }
+
+// WithClasses attaches an n-way classification head.
+func WithClasses(n int) Option { return func(c *runtimeConfig) { c.engine.Classes = n } }
+
+// WithAllocator selects the memory manager (default: the paper's
+// sequence-length-aware turbo allocator, Algorithm 1).
+func WithAllocator(kind AllocatorKind) Option {
+	return func(c *runtimeConfig) { c.engine.Allocator = kind }
+}
+
+// WithPacked selects the zero-padding execution path: mixed-length batches
+// run as ragged [totalTokens, hidden] blocks, no FLOP is ever spent on a
+// padding row, and no mask exists.
+func WithPacked() Option { return func(c *runtimeConfig) { c.engine.Packed = true } }
+
+// WithUnfused executes the unfused Fig. 3a graph instead of the fused
+// runtime (for comparisons).
+func WithUnfused() Option { return func(c *runtimeConfig) { c.engine.Unfused = true } }
+
+// WithTensorCore emulates the Turbo-TC numeric path: FP16 GEMM operands
+// with FP32 accumulation.
+func WithTensorCore() Option { return func(c *runtimeConfig) { c.engine.TensorCore = true } }
+
+// WithPerRowDecode makes the generation path decode through the per-row
+// reference attention instead of the grouped ragged kernels (bit-identical
+// oracle, for debugging and benchmarks).
+func WithPerRowDecode() Option { return func(c *runtimeConfig) { c.engine.PerRowDecode = true } }
+
+// WithGeneration enables the continuous-batching generation path with the
+// given decoder configuration (the /v1/generate endpoint on a served
+// runtime).
+func WithGeneration(decCfg Config) Option {
+	return func(c *runtimeConfig) { c.genDecCfg = &decCfg }
+}
+
+// WithGenMaxBatch caps concurrent decode sequences (default: the classify
+// max batch).
+func WithGenMaxBatch(n int) Option { return func(c *runtimeConfig) { c.genMaxBatch = n } }
+
+// WithGenTokenBudget caps the summed worst-case context length across
+// running generations — the KV-footprint admission guard (0 = unlimited).
+func WithGenTokenBudget(n int) Option { return func(c *runtimeConfig) { c.genTokenBudget = n } }
+
+// WithGenDefaultMaxNew sets the token budget used when a generation
+// request does not specify max_new_tokens (default 32).
+func WithGenDefaultMaxNew(n int) Option { return func(c *runtimeConfig) { c.genDefaultMaxNew = n } }
+
+// WithScheduler sets the batch scheduler for the classify path. Without
+// it, Serve falls back to the DP scheduler over a crude linear cost —
+// fine for demos; production servers should warm up a real cost model
+// (WarmupCost / WarmupTokenCost) and pass it here.
+func WithScheduler(s Scheduler) Option { return func(c *runtimeConfig) { c.scheduler = s } }
+
+// WithMaxBatch caps the classify batch size (default 8).
+func WithMaxBatch(n int) Option { return func(c *runtimeConfig) { c.maxBatch = n } }
+
+// WithCache enables the response cache with the given entry count.
+func WithCache(entries int) Option { return func(c *runtimeConfig) { c.cacheSize = entries } }
+
+// WithBatchWindow enables the lazy trigger strategy: after the first
+// request arrives, wait up to d for companions before scheduling (a full
+// batch fires immediately). Zero means the hungry strategy.
+func WithBatchWindow(d time.Duration) Option { return func(c *runtimeConfig) { c.batchWindow = d } }
+
+// WithQueueDepth bounds the unified admission queue; submissions beyond
+// it are refused with 429 + Retry-After (default serving.DefaultQueueDepth).
+func WithQueueDepth(n int) Option { return func(c *runtimeConfig) { c.queueDepth = n } }
+
+// Runtime is the assembled inference stack behind the unified API: the
+// classify engine, optionally the generation engine, and the resolved
+// configuration a Serve call turns into a live server.
+type Runtime struct {
+	Engine    *Engine
+	GenEngine *GenEngine // nil unless WithGeneration was given
+
+	modelCfg Config
+	resolved runtimeConfig
+}
+
+// NewRuntime builds the inference runtime for cfg under the given options
+// — the single entry point the quickstart's "three lines" now go through:
+//
+//	rt, _ := turbo.NewRuntime(turbo.BertBase(), turbo.WithClasses(2))
+//	classes, _ := rt.Classify(ctx, [][]int{{101, 2023, 2003, 102}})
+func NewRuntime(cfg Config, opts ...Option) (*Runtime, error) {
+	rc := runtimeConfig{}
+	for _, o := range opts {
+		o(&rc)
+	}
+	engine, err := core.NewEngine(cfg, rc.engine)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{Engine: engine, modelCfg: cfg, resolved: rc}
+	if rc.genDecCfg != nil {
+		gen, err := core.NewGenEngine(cfg, *rc.genDecCfg, rc.engine)
+		if err != nil {
+			return nil, err
+		}
+		rt.GenEngine = gen
+	}
+	return rt, nil
+}
+
+// Classify runs the full pipeline under ctx and returns one class per
+// request; a cancelled context stops the pipeline at the next stage
+// boundary.
+func (rt *Runtime) Classify(ctx context.Context, batchTokens [][]int) ([]int, error) {
+	return rt.Engine.Classify(ctx, batchTokens)
+}
+
+// Serve starts the serving framework over this runtime. Extra options
+// override the ones given to NewRuntime (useful for wiring a scheduler
+// after a warm-up pass over rt.Engine):
+//
+//	rt, _ := turbo.NewRuntime(cfg, turbo.WithClasses(4))
+//	cost := turbo.WarmupCost(price, maxLen, maxBatch, stride) // price via rt.Engine
+//	srv, _ := rt.Serve(turbo.WithScheduler(turbo.NewDPScheduler(cost, 8)))
+func (rt *Runtime) Serve(opts ...Option) (*Server, error) {
+	rc := rt.resolved
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.genDecCfg != nil && rt.GenEngine == nil {
+		return nil, fmt.Errorf("turbo: WithGeneration must be given to NewRuntime, not Serve (the runtime owns the engines)")
+	}
+	scheduler := rc.scheduler
+	if scheduler == nil {
+		// Demo fallback: linear cost, no warm-up. Real deployments warm up
+		// a measured cost model and pass WithScheduler.
+		maxBatch := rc.maxBatch
+		if maxBatch < 1 {
+			maxBatch = 8
+		}
+		scheduler = NewDPScheduler(sched.CostFunc(func(l, b int) time.Duration {
+			return time.Duration(l*b) * time.Microsecond
+		}), maxBatch)
+	}
+	cfg := serving.ServerConfig{
+		Engine:      rt.Engine,
+		Scheduler:   scheduler,
+		MaxBatch:    rc.maxBatch,
+		CacheSize:   rc.cacheSize,
+		BatchWindow: rc.batchWindow,
+		QueueDepth:  rc.queueDepth,
+	}
+	if rt.GenEngine != nil {
+		cfg.GenEngine = rt.GenEngine
+		cfg.GenMaxBatch = rc.genMaxBatch
+		cfg.GenTokenBudget = rc.genTokenBudget
+		cfg.GenDefaultMaxNew = rc.genDefaultMaxNew
+	}
+	return serving.NewServer(cfg)
+}
+
+// Serve builds a runtime for cfg and starts the serving framework in one
+// call — the single front door for a served model. With WithGeneration,
+// the decoder config must share the encoder's hidden size (scale them
+// together):
+//
+//	enc := turbo.BertBase().Scaled(128, 4, 512, 4)
+//	dec := turbo.Seq2SeqDecoder().Scaled(128, 4, 512, 4)
+//	srv, err := turbo.Serve(enc,
+//		turbo.WithClasses(2),
+//		turbo.WithPacked(),
+//		turbo.WithGeneration(dec),
+//		turbo.WithQueueDepth(512))
+//	if err != nil { ... }
+//	defer srv.Shutdown(context.Background())
+//	http.ListenAndServe(addr, srv.Handler())
+func Serve(cfg Config, opts ...Option) (*Server, error) {
+	rt, err := NewRuntime(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Serve()
+}

@@ -6,17 +6,31 @@
 //   - a transformer inference runtime with kernel fusion and real
 //     variable-length execution (Engine),
 //   - the sequence-length-aware memory manager of Algorithm 1
-//     (selected via Options.Allocator),
+//     (selected via WithAllocator),
 //   - the sequence-length-aware DP batch scheduler of Algorithm 2 and the
-//     serving framework around it (NewDPScheduler, NewServer),
+//     serving framework around it (NewDPScheduler, Serve),
 //
 // plus the GPU latency model and benchmark harness that regenerate every
 // table and figure of the paper's evaluation (Experiments, RunExperiment).
 //
 // Quickstart (the paper's §6.1 "three lines" equivalent):
 //
-//	engine, _ := turbo.NewEngine(turbo.BertBase(), turbo.Options{Classes: 2})
-//	classes, _ := engine.Classify([][]int{{101, 2023, 2003, 102}})
+//	rt, _ := turbo.NewRuntime(turbo.BertBase(), turbo.WithClasses(2))
+//	classes, _ := rt.Classify(ctx, [][]int{{101, 2023, 2003, 102}})
+//
+// The single serving front door is Serve: one call builds the engines and
+// starts the job-based serving framework (classify + generate through ONE
+// bounded admission queue, context-aware end to end). Encoder and decoder
+// must agree on hidden size, so scale them together:
+//
+//	enc := turbo.BertBase().Scaled(128, 4, 512, 4)
+//	dec := turbo.Seq2SeqDecoder().Scaled(128, 4, 512, 4)
+//	srv, err := turbo.Serve(enc,
+//		turbo.WithClasses(2),
+//		turbo.WithGeneration(dec))
+//	if err != nil { ... }
+//	defer srv.Shutdown(context.Background())
+//	http.ListenAndServe(":8080", srv.Handler())
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package turbo
@@ -53,9 +67,15 @@ func Seq2SeqDecoder() Config { return model.Seq2SeqDecoder() }
 type Engine = core.Engine
 
 // Options configures NewEngine.
+//
+// Deprecated: use the functional options (WithSeed, WithPacked,
+// WithAllocator, ...) on NewRuntime / Serve instead.
 type Options = core.Options
 
-// Allocator kinds for Options.Allocator.
+// AllocatorKind selects the memory manager (WithAllocator / Options.Allocator).
+type AllocatorKind = core.AllocatorKind
+
+// Allocator kinds for WithAllocator.
 const (
 	AllocTurbo   = core.AllocTurbo
 	AllocGSOC    = core.AllocGSOC
@@ -64,6 +84,9 @@ const (
 )
 
 // NewEngine builds an inference engine for cfg.
+//
+// Deprecated: use NewRuntime, which assembles the same engine under
+// functional options and carries the generation engine alongside.
 func NewEngine(cfg Config, opts Options) (*Engine, error) {
 	return core.NewEngine(cfg, opts)
 }
@@ -151,13 +174,34 @@ func LoadCost(path string) (*CachedCost, error) { return sched.LoadCachedCostFil
 
 // Serving framework.
 type (
-	// Server is the live HTTP serving framework.
+	// Server is the live HTTP serving framework: one bounded admission
+	// queue in front of the DP-batched classify dispatcher and the
+	// continuous-batching generation dispatcher, context-aware end to end.
+	// Stop it with Shutdown (graceful drain) or Close (abort); both join
+	// the dispatcher goroutines before returning.
 	Server = serving.Server
 	// ServerConfig configures NewServer.
+	//
+	// Deprecated: use Serve / NewRuntime with functional options.
 	ServerConfig = serving.ServerConfig
 )
 
-// NewServer starts the serving framework's batching worker.
+// Job-lifecycle errors surfaced by the serving framework (mapped to HTTP
+// 429 / 503 / 504 by the handlers).
+var (
+	// ErrQueueFull refuses a submission at the full admission queue.
+	ErrQueueFull = serving.ErrQueueFull
+	// ErrServerClosed refuses submissions once shutdown has begun.
+	ErrServerClosed = serving.ErrServerClosed
+	// ErrJobDeadlineExceeded fails jobs dropped past their deadline.
+	ErrJobDeadlineExceeded = serving.ErrDeadlineExceeded
+)
+
+// NewServer starts the serving framework's dispatchers over an
+// already-built engine.
+//
+// Deprecated: use Serve (one call from model config to live server) or
+// NewRuntime(...).Serve(...) when a warm-up pass needs the engine first.
 func NewServer(cfg ServerConfig) (*Server, error) { return serving.NewServer(cfg) }
 
 // Continuous-batching generation (iteration-level scheduling on top of the

@@ -2,6 +2,10 @@ package turbo_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -14,12 +18,114 @@ func TestFacadeEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := engine.Classify([][]int{{5, 6, 7}})
+	classes, err := engine.Classify(context.Background(), [][]int{{5, 6, 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(classes) != 1 {
 		t.Fatalf("classes: %v", classes)
+	}
+}
+
+// TestFacadeRuntimeOptions pins the functional-options front door: the
+// runtime built by NewRuntime must match the deprecated positional API
+// result for result, and a cancelled context must stop the pipeline.
+func TestFacadeRuntimeOptions(t *testing.T) {
+	cfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	rt, err := turbo.NewRuntime(cfg,
+		turbo.WithSeed(1),
+		turbo.WithClasses(2),
+		turbo.WithPacked(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]int{{5, 6, 7}, {8, 9}}
+	got, err := rt.Classify(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := turbo.NewEngine(cfg, turbo.Options{Seed: 1, Classes: 2, Packed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacy.Classify(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("options-built runtime diverges from legacy engine: %v vs %v", got, want)
+		}
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.Classify(cancelled, batch); err == nil {
+		t.Fatal("cancelled context must stop Classify")
+	}
+}
+
+// TestFacadeServe drives one classify and one generation request through a
+// server built entirely by the Serve front door, then shuts it down
+// gracefully.
+func TestFacadeServe(t *testing.T) {
+	encCfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	decCfg := turbo.Seq2SeqDecoder().Scaled(32, 4, 64, 2)
+	srv, err := turbo.Serve(encCfg,
+		turbo.WithSeed(3),
+		turbo.WithClasses(3),
+		turbo.WithGeneration(decCfg),
+		turbo.WithGenDefaultMaxNew(4),
+		turbo.WithQueueDepth(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]string{"text": "front door"})
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cls struct {
+		Class int `json:"class"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cls); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || cls.Class < 0 || cls.Class >= 3 {
+		t.Fatalf("classify via Serve: status %d class %d", resp.StatusCode, cls.Class)
+	}
+
+	body, _ = json.Marshal(map[string]interface{}{"text": "generate me", "max_new_tokens": 3})
+	resp, err = http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen struct {
+		Tokens []int `json:"tokens"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gen); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(gen.Tokens) == 0 {
+		t.Fatalf("generate via Serve: status %d tokens %v", resp.StatusCode, gen.Tokens)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit: status %d, want 503", resp.StatusCode)
 	}
 }
 
