@@ -22,6 +22,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	out := flag.String("out", "", "output file (default: stdout)")
+	jsonOut := flag.String("json", "", "also write the key metrics of the executed experiments as machine-readable JSON (the BENCH_*.json artefact)")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +46,7 @@ func main() {
 		if err := turbo.RunAllExperiments(w); err != nil {
 			fatal(err)
 		}
+		writeMetrics(*jsonOut)
 		return
 	}
 	for _, id := range strings.Split(*run, ",") {
@@ -56,6 +58,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	writeMetrics(*jsonOut)
+}
+
+// writeMetrics persists the key metrics recorded by the experiments that
+// just ran (no-op without -json).
+func writeMetrics(path string) {
+	if path == "" {
+		return
+	}
+	if err := turbo.WriteBenchMetrics(path); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "turbo-bench: wrote metrics to", path)
 }
 
 func fatal(err error) {

@@ -48,7 +48,9 @@ func main() {
 	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
 	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
 	packed := flag.Bool("packed", false, "run the zero-padding (packed) engine: ragged batches, no padding FLOPs, token-based batch scheduling")
-	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue depth (submissions beyond it get 429)")
+	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue depth per replica (submissions beyond it get 429)")
+	replicas := flag.Int("replicas", 1, "independent serving replicas behind the routed front door (1 = single server, no router)")
+	balance := flag.String("balance", "token-cost", "replica routing policy: round-robin, least-queue, or token-cost")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: in-flight work is aborted past this")
 	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
@@ -59,8 +61,14 @@ func main() {
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
 
+	policy, err := turbo.ParseBalancePolicy(*balance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// One option list is the whole configuration: engine knobs, serving
-	// knobs, and the generation path all hang off the same front door.
+	// knobs, replicas, and the generation path all hang off the same front
+	// door.
 	opts := []turbo.Option{
 		turbo.WithSeed(*seed),
 		turbo.WithClasses(*classes),
@@ -68,6 +76,8 @@ func main() {
 		turbo.WithCache(*cacheSize),
 		turbo.WithBatchWindow(*batchWindow),
 		turbo.WithQueueDepth(*queueDepth),
+		turbo.WithReplicas(*replicas),
+		turbo.WithBalancePolicy(policy),
 	}
 	if *packed {
 		opts = append(opts, turbo.WithPacked())
@@ -108,6 +118,10 @@ func main() {
 	}
 
 	var cost turbo.CostModel
+	// The token-cost routing policy prices requests with a fitted token
+	// cost; the packed scheduler warm-up produces one anyway, and a
+	// replicated token-cost deployment fits one just for routing.
+	var routeCost *turbo.TokenCost
 	if *packed {
 		// Packed engine: fit the token-based cost so the DP scheduler
 		// prices mixed-length batches by work actually done, not by
@@ -117,6 +131,7 @@ func main() {
 		tc := turbo.WarmupTokenCost(price, *maxLen, *maxBatch, *maxLen/8)
 		log.Printf("token cost ready: fixed=%.0fns perToken=%.1fns perTok²=%.3fns", tc.Fixed, tc.PerToken, tc.PerSqToken)
 		cost = tc
+		routeCost = tc
 	} else {
 		// Padded engine: reload a persisted dictionary if present,
 		// otherwise sweep and let Algorithm 2 interpolate.
@@ -142,9 +157,23 @@ func main() {
 	}
 	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
 
-	srv, err := rt.Serve(turbo.WithScheduler(turbo.NewDPScheduler(cost, *maxBatch)))
+	serveOpts := []turbo.Option{turbo.WithScheduler(turbo.NewDPScheduler(cost, *maxBatch))}
+	if *replicas > 1 && policy == turbo.TokenCostRouting {
+		if routeCost == nil {
+			// Padded engine: the dictionary cost cannot price single
+			// requests for routing, so fit the token form just for the
+			// balancer.
+			log.Printf("fitting token cost for the routing policy...")
+			routeCost = turbo.WarmupTokenCost(price, *maxLen, *maxBatch, *maxLen/8)
+		}
+		serveOpts = append(serveOpts, turbo.WithRouteCost(routeCost))
+	}
+	srv, err := rt.Serve(serveOpts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *replicas > 1 {
+		log.Printf("routing over %d replicas, policy %s", *replicas, policy)
 	}
 	if *generate {
 		attn := "grouped ragged"

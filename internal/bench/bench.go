@@ -45,7 +45,7 @@ func artefactOrder(id string) int {
 		"table1": 1, "table2": 2, "fig5": 3, "fig6": 4, "fig7": 5, "fig8": 6,
 		"fig9": 7, "fig10": 8, "fig11": 9, "fig12": 10, "fig13": 11,
 		"fig14": 12, "fig15": 13, "table4": 14, "fig16": 15, "table5": 16,
-		"gen-serving": 17, "var-length": 18, "gen-decode": 19,
+		"gen-serving": 17, "var-length": 18, "gen-decode": 19, "replica-routing": 20,
 	}
 	if o, ok := order[id]; ok {
 		return o

@@ -160,6 +160,7 @@ func runVarLengthWith(w io.Writer, p varLengthParams) error {
 		if dist.name == "short-skewed" {
 			shortSkewSpeedup = speedup
 		}
+		RecordMetric("var-length", "speedup/"+dist.name, speedup)
 		maxLen := packedOut.MaxLen()
 		t.row(dist.name,
 			packedOut.TotalTokens(),

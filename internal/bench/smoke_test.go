@@ -55,6 +55,48 @@ func TestBenchSmoke(t *testing.T) {
 	if strings.Contains(out, "DIVERGED") {
 		t.Fatalf("grouped decode diverged from the per-row oracle:\n%s", out)
 	}
+
+	// Wiring guard for the replica-routing harness: a tiny 2-replica run
+	// must exercise the live router under every policy, the single-replica
+	// overhead guard, and the cluster-simulator shape check end to end
+	// (performance verdicts are enforced by the full-size test).
+	buf.Reset()
+	tinyRouting := replicaRoutingParams{
+		hidden: 16, heads: 2, inter: 32, layers: 1,
+		replicas: 2, n: 24,
+		shortLo: 2, shortHi: 6, longLen: 16, longFrac: 0.15,
+		util: 0.7, reps: 1, seed: 3,
+	}
+	if err := runReplicaRoutingWith(&buf, tinyRouting); err != nil {
+		t.Fatalf("replica-routing (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"short-skewed", "bimodal", "round-robin", "least-queue", "token-cost", "p99", "single-replica overhead", "sim shape"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replica-routing output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReplicaRoutingExperiment runs the full-size routing artefact
+// (skipped in -short CI where TestBenchSmoke covers the wiring) and
+// enforces the PR-5 acceptance claims: token-cost routing beats
+// round-robin on p99 latency under short-skewed traffic with ≥2 replicas,
+// the one-replica router costs no throughput against the bare server, and
+// the cluster simulator agrees on the shape.
+func TestReplicaRoutingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "replica-routing")
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("replica-routing verdict failed:\n%s", out)
+	}
+	for _, want := range []string{"→ PASS", "sim shape"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replica-routing output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 // TestGenDecodeExperiment runs the full-size ragged-decode artefact

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -38,7 +39,10 @@ func (r *GenRequest) Expired(now float64) bool {
 // short completion never waits for a long batch-mate and new arrivals never
 // wait for a whole batch to retire.
 //
-// Admission is FCFS under two sequence-length-aware limits:
+// Admission is priority-ordered (higher Priority first, FCFS within a
+// priority — the queue is kept ordered at Enqueue, so the ordering holds
+// across serving-loop iterations, not just within one) under two
+// sequence-length-aware limits:
 //
 //   - MaxBatch concurrent sequences (GEMM row height per iteration), and
 //   - TokenBudget, a cap on the sum of worst-case context lengths
@@ -90,11 +94,18 @@ func (r *GenRequest) ReservedTokens() int {
 	return n
 }
 
-// Enqueue adds a request to the admission queue.
+// Enqueue adds a request to the admission queue, keeping the queue ordered
+// highest priority first (FCFS within a priority). Ordering at enqueue —
+// not at admission — means a high-priority request arriving while earlier
+// low-priority work is still waiting for budget is admitted ahead of it,
+// even though they were enqueued by different serving-loop iterations.
 func (s *ContinuousScheduler) Enqueue(r *GenRequest) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.queue = append(s.queue, r)
+	i := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Priority < r.Priority })
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = r
 }
 
 // Admit moves as many queued requests as fit into the running set and

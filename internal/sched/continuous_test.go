@@ -205,3 +205,37 @@ func TestAdmissionUsesReservedFigureConsistently(t *testing.T) {
 		}
 	}
 }
+
+// TestContinuousPriorityAcrossEnqueues is the regression for the ordering
+// bug fixed in PR 5: the admission queue is ordered at Enqueue, so a
+// high-priority request arriving AFTER low-priority work was queued (by an
+// earlier serving-loop iteration, while a batch was mid-flight) is admitted
+// ahead of it — priority is global across enqueue rounds, not per-round.
+func TestContinuousPriorityAcrossEnqueues(t *testing.T) {
+	s := NewContinuousScheduler(1, 0)
+	s.Enqueue(genReq(1, 10, 10)) // running
+	if adm := s.Admit(); len(adm) != 1 || adm[0].ID != 1 {
+		t.Fatalf("admit: %v", adm)
+	}
+	// Round 1 queues low-priority work behind the running request.
+	s.Enqueue(genReq(2, 10, 10))
+	s.Enqueue(genReq(3, 10, 10))
+	if adm := s.Admit(); len(adm) != 0 {
+		t.Fatalf("admitted past MaxBatch: %v", adm)
+	}
+	// Round 2 (a later loop iteration): a high-priority request arrives.
+	hi := genReq(4, 10, 10)
+	hi.Priority = 5
+	s.Enqueue(hi)
+	// Ties within priority stay FCFS.
+	s.Enqueue(genReq(5, 10, 10))
+
+	s.Evict(1)
+	if adm := s.Admit(); len(adm) != 1 || adm[0].ID != 4 {
+		t.Fatalf("high-priority request not admitted first: %v", adm)
+	}
+	s.Evict(4)
+	if adm := s.Admit(); len(adm) != 1 || adm[0].ID != 2 {
+		t.Fatalf("FCFS within priority broken: %v", adm)
+	}
+}

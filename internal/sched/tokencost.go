@@ -34,6 +34,46 @@ func (c *TokenCost) BatchCost(seqLen, batchSize int) time.Duration {
 	return c.BatchCostTokens(b*s, b*s*s, batchSize)
 }
 
+// RouteCostModel prices ONE request for replica-level load balancing — the
+// hook the serving router charges a replica with when it admits a job, and
+// refunds when the job resolves. It sits a level above CostModel /
+// TokenCostModel: those price an execution batch on one engine; this prices
+// a request's total device-time claim so long prompts spread across
+// replicas instead of piling onto one.
+type RouteCostModel interface {
+	// RequestCost estimates the device time one request will consume:
+	// promptTokens of prefill plus newTokens of decode (0 for one-shot
+	// classification).
+	RequestCost(promptTokens, newTokens int) time.Duration
+}
+
+// RequestCost implements RouteCostModel on the fitted token cost: prefill
+// is the usual three-term cost of promptTokens, and each of the newTokens
+// decode steps prices one token attending a context that ends at
+// promptTokens+newTokens (the worst-case KV length the serving layer also
+// reserves by).
+func (c *TokenCost) RequestCost(promptTokens, newTokens int) time.Duration {
+	p, n := float64(promptTokens), float64(newTokens)
+	prefill := c.Fixed + c.PerToken*p + c.PerSqToken*p*p
+	decode := c.PerToken*n + c.PerSqToken*n*(p+n)
+	return time.Duration(prefill + decode)
+}
+
+// TokenCountCost is the zero-knowledge RouteCostModel: one unit per token,
+// prompt and decode alike. It is the router's default before any warm-up
+// fit exists — relative load still tracks true work because every replica
+// is priced by the same unit.
+type TokenCountCost struct{}
+
+// RequestCost implements RouteCostModel.
+func (TokenCountCost) RequestCost(promptTokens, newTokens int) time.Duration {
+	n := promptTokens + newTokens
+	if n < 1 {
+		n = 1
+	}
+	return time.Duration(n)
+}
+
 // FitTokenCost is the packed engine's warm-up sweep: like BuildCachedCost
 // it prices uniform (seqLen, batchSize) batches over the sampled grid, but
 // instead of tabulating padded costs it least-squares-fits the three-term

@@ -131,3 +131,37 @@ func TestDPTokenCostStillRespectsMaxBatch(t *testing.T) {
 		t.Fatalf("covered %d requests", covered)
 	}
 }
+
+// TestRequestCostRouting pins the RouteCostModel hook the replica router
+// prices admissions with: monotone in both prompt and decode budget, the
+// prefill-only form agrees with a batch-of-one, and the token-count
+// fallback counts tokens.
+func TestRequestCostRouting(t *testing.T) {
+	c := &TokenCost{Fixed: 100, PerToken: 10, PerSqToken: 1}
+	// Prefill-only request == one-request batch of that length.
+	if got, want := c.RequestCost(8, 0), c.BatchCost(8, 1); got != want {
+		t.Fatalf("prefill-only RequestCost %v != BatchCost(8,1) %v", got, want)
+	}
+	// Strictly monotone in prompt length and in decode budget.
+	prev := time.Duration(0)
+	for _, p := range []int{1, 4, 16, 64} {
+		if got := c.RequestCost(p, 0); got <= prev {
+			t.Fatalf("RequestCost not increasing in prompt: p=%d %v <= %v", p, got, prev)
+		} else {
+			prev = got
+		}
+	}
+	if c.RequestCost(8, 16) <= c.RequestCost(8, 4) {
+		t.Fatal("RequestCost not increasing in decode budget")
+	}
+	// Decode tokens attend a longer worst-case context than fresh prompt
+	// tokens of the same count, so with a quadratic term they price higher.
+	if c.RequestCost(8, 8) <= c.RequestCost(8, 0) {
+		t.Fatal("decode budget priced as free")
+	}
+
+	var tc TokenCountCost
+	if tc.RequestCost(5, 3) != 8 || tc.RequestCost(0, 0) != 1 {
+		t.Fatalf("TokenCountCost: %v %v", tc.RequestCost(5, 3), tc.RequestCost(0, 0))
+	}
+}

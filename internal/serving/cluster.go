@@ -18,6 +18,11 @@ const (
 	RoundRobin BalancePolicy = iota
 	// LeastQueue sends each request to the server with the shortest queue.
 	LeastQueue
+	// TokenCostRouting sends each request to the server with the least
+	// outstanding PRICED work (a sched.RouteCostModel over prompt tokens
+	// plus decode budget), so long prompts spread by the device time they
+	// will claim instead of counting one queue slot like everything else.
+	TokenCostRouting
 )
 
 // String returns the policy name.
@@ -27,8 +32,22 @@ func (p BalancePolicy) String() string {
 		return "round-robin"
 	case LeastQueue:
 		return "least-queue"
+	case TokenCostRouting:
+		return "token-cost"
 	}
 	return fmt.Sprintf("BalancePolicy(%d)", int(p))
+}
+
+// ParseBalancePolicy maps a policy's wire name ("round-robin",
+// "least-queue", "token-cost") back to the constant — the -balance flag
+// parser.
+func ParseBalancePolicy(s string) (BalancePolicy, error) {
+	for _, p := range []BalancePolicy{RoundRobin, LeastQueue, TokenCostRouting} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serving: unknown balance policy %q (want round-robin, least-queue, or token-cost)", s)
 }
 
 // ClusterConfig configures a multi-server serving simulation. Each server
@@ -41,6 +60,15 @@ type ClusterConfig struct {
 	Warmup, Duration float64
 	Seed             int64
 	LenLo, LenHi     int
+
+	// LenSampler, when non-nil, draws each request's length instead of the
+	// uniform LenLo..LenHi default — how the routing experiments model
+	// short-skewed and bimodal traffic.
+	LenSampler func(rng *rand.Rand) int
+
+	// RouteCost prices a request for the TokenCostRouting policy (nil
+	// defaults to sched.TokenCountCost). Other policies ignore it.
+	RouteCost sched.RouteCostModel
 
 	// NewScheduler builds one scheduler per server (schedulers may be
 	// stateful, so they must not be shared).
@@ -61,6 +89,7 @@ type ClusterResult struct {
 	ServedPerSec float64
 	LatencyAvg   float64
 	LatencyMax   float64
+	LatencyP99   float64
 	// PerServerServed shows balance quality.
 	PerServerServed []int64
 	Saturated       bool
@@ -72,13 +101,18 @@ type ClusterResult struct {
 // clusterServer is one simulated GPU + queue, the per-server core of the
 // single-server simulation reused M times on one clock.
 type clusterServer struct {
-	sim      *simclock.Sim
-	sched    sched.Scheduler
-	cost     sched.CostModel
-	maxBatch int
+	sim       *simclock.Sim
+	sched     sched.Scheduler
+	cost      sched.CostModel
+	routeCost sched.RouteCostModel
+	maxBatch  int
 
 	mq   []*sched.Request
 	busy bool
+	// load is the outstanding priced work (ns of RequestCost) charged at
+	// enqueue and refunded at completion or expiry — what TokenCostRouting
+	// balances on, mirroring the live Router's per-replica load gauge.
+	load float64
 
 	measureLo, measureHi float64
 	stats                *simclock.LatencyStats
@@ -86,8 +120,13 @@ type clusterServer struct {
 	expired              int64
 }
 
+func (s *clusterServer) price(r *sched.Request) float64 {
+	return float64(s.routeCost.RequestCost(r.Length, 0))
+}
+
 func (s *clusterServer) enqueue(r *sched.Request) {
 	s.mq = append(s.mq, r)
+	s.load += s.price(r)
 	s.dispatch()
 }
 
@@ -101,6 +140,7 @@ func (s *clusterServer) dispatch() {
 	for _, r := range s.mq {
 		if r.Expired(s.sim.Now()) {
 			s.expired++
+			s.load -= s.price(r)
 			continue
 		}
 		live = append(live, r)
@@ -137,6 +177,7 @@ func (s *clusterServer) dispatch() {
 	reqs := b.Requests
 	s.sim.After(dur, func() {
 		for _, r := range reqs {
+			s.load -= s.price(r)
 			if now := s.sim.Now(); now >= s.measureLo && now <= s.measureHi {
 				s.stats.Add(now - r.Arrival)
 				s.served++
@@ -161,12 +202,17 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	stats := simclock.NewLatencyStats()
 	measureLo, measureHi := cfg.Warmup, cfg.Warmup+cfg.Duration
 
+	routeCost := cfg.RouteCost
+	if routeCost == nil {
+		routeCost = sched.TokenCountCost{}
+	}
 	servers := make([]*clusterServer, cfg.Servers)
 	for i := range servers {
 		servers[i] = &clusterServer{
 			sim:       sim,
 			sched:     cfg.NewScheduler(),
 			cost:      cfg.Cost,
+			routeCost: routeCost,
 			maxBatch:  cfg.MaxBatch,
 			measureLo: measureLo,
 			measureHi: measureHi,
@@ -185,6 +231,14 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 				}
 			}
 			return best
+		case TokenCostRouting:
+			best := servers[0]
+			for _, s := range servers[1:] {
+				if s.load < best.load {
+					best = s
+				}
+			}
+			return best
 		default:
 			s := servers[next%len(servers)]
 			next++
@@ -196,7 +250,9 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	sim.PoissonArrivals(cfg.Rate, cfg.Seed, measureHi, func(i int64) {
 		nextID++
 		length := cfg.LenLo
-		if cfg.LenHi > cfg.LenLo {
+		if cfg.LenSampler != nil {
+			length = cfg.LenSampler(rng)
+		} else if cfg.LenHi > cfg.LenLo {
 			length += rng.Intn(cfg.LenHi - cfg.LenLo + 1)
 		}
 		deadline := 0.0
@@ -221,6 +277,7 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	res.ServedPerSec = float64(res.Served) / cfg.Duration
 	res.LatencyAvg = stats.Avg()
 	res.LatencyMax = stats.Max
+	res.LatencyP99 = stats.Percentile(0.99)
 	if stats.Count == 0 {
 		res.LatencyAvg, res.LatencyMax = math.NaN(), math.NaN()
 	}

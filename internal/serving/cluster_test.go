@@ -2,9 +2,11 @@ package serving
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/sched"
+	"repro/internal/simclock"
 )
 
 func clusterCfg(servers int, rate float64, policy BalancePolicy) ClusterConfig {
@@ -121,7 +123,90 @@ func TestClusterDefaults(t *testing.T) {
 }
 
 func TestBalancePolicyString(t *testing.T) {
-	if RoundRobin.String() != "round-robin" || LeastQueue.String() != "least-queue" {
+	if RoundRobin.String() != "round-robin" || LeastQueue.String() != "least-queue" || TokenCostRouting.String() != "token-cost" {
 		t.Fatal("policy names")
+	}
+}
+
+// shortSkewSampler is the routing experiments' traffic shape: mostly short
+// requests with a heavy long tail — the distribution where counting queue
+// slots misprices load the worst.
+func shortSkewSampler(rng *rand.Rand) int {
+	if rng.Float64() < 0.9 {
+		return 2 + rng.Intn(8)
+	}
+	return 300 + rng.Intn(200)
+}
+
+// TestClusterTokenCostRoutingBeatsRoundRobinOnSkew: under short-skewed
+// traffic, pricing requests by token cost must not let long prompts pile
+// onto one server's queue behind shorts — tail latency beats round-robin,
+// and nothing is lost (comparable served counts).
+func TestClusterTokenCostRoutingBeatsRoundRobinOnSkew(t *testing.T) {
+	run := func(policy BalancePolicy) ClusterResult {
+		cfg := clusterCfg(3, 400, policy)
+		cfg.LenSampler = shortSkewSampler
+		return RunClusterSim(cfg)
+	}
+	rr := run(RoundRobin)
+	tc := run(TokenCostRouting)
+	if tc.Served == 0 || rr.Served == 0 {
+		t.Fatalf("no traffic: rr %+v tc %+v", rr, tc)
+	}
+	if float64(tc.Served) < 0.95*float64(rr.Served) {
+		t.Fatalf("token-cost served %d vs round-robin %d", tc.Served, rr.Served)
+	}
+	if tc.LatencyP99 > rr.LatencyP99 {
+		t.Fatalf("token-cost p99 %.4fs worse than round-robin %.4fs", tc.LatencyP99, rr.LatencyP99)
+	}
+	if tc.LatencyAvg > rr.LatencyAvg {
+		t.Fatalf("token-cost avg %.4fs worse than round-robin %.4fs", tc.LatencyAvg, rr.LatencyAvg)
+	}
+}
+
+// TestClusterLoadRefunded drives one simulated server directly and pins
+// the charge/refund bookkeeping the token-cost policy reads: every
+// completed request refunds its enqueue charge, an expired request
+// refunds on the expiry path, so outstanding load returns to zero once
+// the queue empties.
+func TestClusterLoadRefunded(t *testing.T) {
+	sim := simclock.New()
+	cost := sched.CostFunc(simCost)
+	s := &clusterServer{
+		sim:       sim,
+		sched:     &sched.DPScheduler{Cost: cost, MaxBatch: 4},
+		cost:      cost,
+		routeCost: sched.TokenCountCost{},
+		maxBatch:  4,
+		measureHi: 100,
+		stats:     simclock.NewLatencyStats(),
+	}
+	// The first enqueue dispatches immediately (server goes busy); the
+	// rest wait in the queue. One of them expires before the server frees
+	// up, exercising the expiry refund path.
+	s.enqueue(&sched.Request{ID: 1, Length: 10})
+	if s.load == 0 {
+		t.Fatal("in-flight request not charged")
+	}
+	s.enqueue(&sched.Request{ID: 2, Length: 20})
+	s.enqueue(&sched.Request{ID: 3, Length: 30, Deadline: 1e-9})
+	sim.Run(100)
+	if s.expired != 1 {
+		t.Fatalf("expired %d requests, want 1", s.expired)
+	}
+	if len(s.mq) != 0 || s.busy {
+		t.Fatalf("server not drained: queue %d busy %v", len(s.mq), s.busy)
+	}
+	if s.load != 0 {
+		t.Fatalf("outstanding load %v after drain, want 0 (refund leak)", s.load)
+	}
+
+	// And the whole-cluster run stays deterministic under the policy.
+	cfg := clusterCfg(2, 100, TokenCostRouting)
+	cfg.DeadlineSec = 0.5
+	a := RunClusterSim(cfg)
+	b := RunClusterSim(cfg)
+	if a.Served != b.Served || a.LatencyP99 != b.LatencyP99 {
+		t.Fatalf("token-cost sim non-deterministic: %+v vs %+v", a, b)
 	}
 }

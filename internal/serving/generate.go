@@ -112,11 +112,13 @@ func (d *genDispatcher) Run(q *Queue) {
 		if root.Err() != nil {
 			for _, r := range d.sched.Drain() {
 				r.Payload.(*Job).fail(ErrServerClosed)
+				d.srv.completions.Add(1)
 			}
 			for _, lg := range live {
 				d.sched.Evict(lg.id)
 				lg.sess.Close()
 				lg.job.fail(ErrServerClosed)
+				d.srv.completions.Add(1)
 			}
 			return
 		}
@@ -190,6 +192,7 @@ func (d *genDispatcher) Run(q *Queue) {
 				for i, j := range admitted {
 					d.sched.Evict(ids[i])
 					j.fail(err)
+					d.srv.completions.Add(1)
 				}
 			} else {
 				for i, j := range admitted {
@@ -213,6 +216,7 @@ func (d *genDispatcher) Run(q *Queue) {
 				d.sched.Evict(lg.id)
 				lg.sess.Close()
 				lg.job.fail(err)
+				d.srv.completions.Add(1)
 			}
 			live = nil
 			continue
@@ -232,6 +236,7 @@ func (d *genDispatcher) Run(q *Queue) {
 				d.sched.Evict(lg.id)
 				lg.sess.Close()
 				lg.job.events <- genEvent{done: true}
+				d.srv.completions.Add(1)
 				continue
 			}
 			alive = append(alive, lg)
@@ -278,24 +283,43 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	if s.gen == nil {
-		httpError(w, http.StatusServiceUnavailable, "generation not enabled on this server")
-		return
-	}
 	var req generateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}")
 		return
 	}
-	d := s.gen
-	d.requests.Add(1)
-	maxNew := req.MaxNewTokens
-	if maxNew <= 0 {
-		maxNew = d.defaultMaxNew
+	s.serveGenerate(w, r, req)
+}
+
+// genBudget resolves a request's decode budget against this server's
+// default and the decoder's hard cap — the token count the continuous
+// scheduler reserves and the router prices. Zero when generation is off.
+func (s *Server) genBudget(reqMaxNew int) int {
+	if s.gen == nil {
+		return 0
 	}
-	if limit := d.engine.DecCfg.MaxTargetLen; maxNew > limit {
+	maxNew := reqMaxNew
+	if maxNew <= 0 {
+		maxNew = s.gen.defaultMaxNew
+	}
+	if limit := s.gen.engine.DecCfg.MaxTargetLen; maxNew > limit {
 		maxNew = limit
 	}
+	return maxNew
+}
+
+// serveGenerate runs one already-decoded generate request through this
+// server's continuous-batching path — the shared core of the single-server
+// handler and the Router front door (which decodes the body itself to
+// price the request before picking a replica).
+func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req generateRequest) {
+	if s.gen == nil {
+		httpError(w, http.StatusServiceUnavailable, "generation not enabled on this server")
+		return
+	}
+	d := s.gen
+	d.requests.Add(1)
+	maxNew := s.genBudget(req.MaxNewTokens)
 	start := time.Now()
 	var deadline time.Time
 	if req.DeadlineMS > 0 {
@@ -303,7 +327,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.submit(JobGenerate, Tokenize(req.Text, d.engine.Cfg.Vocab), maxNew, req.Priority, deadline, r.Context())
 	if err != nil {
-		writeJobError(w, err)
+		s.writeJobError(w, err)
 		return
 	}
 	defer job.Cancel()
@@ -319,7 +343,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			select {
 			case ev := <-job.events:
 				if ev.err != nil {
-					writeJobError(w, ev.err)
+					s.writeJobError(w, ev.err)
 					return
 				}
 				if ev.done {

@@ -180,7 +180,11 @@ func NewQueue(limit int) *Queue {
 }
 
 // Submit admits a job, or refuses with ErrQueueFull (at capacity) or
-// ErrServerClosed (shutdown has begun).
+// ErrServerClosed (shutdown has begun). The pending set is kept ordered —
+// highest priority first, FCFS within a priority — at enqueue time, so the
+// ordering is an invariant of the queue itself: a high-priority job
+// arriving while a prior take's work is mid-flight sits ahead of any
+// lower-priority job admitted later, whatever take it ends up in.
 func (q *Queue) Submit(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -190,7 +194,10 @@ func (q *Queue) Submit(j *Job) error {
 	if len(q.jobs) >= q.limit {
 		return ErrQueueFull
 	}
-	q.jobs = append(q.jobs, j)
+	i := sort.Search(len(q.jobs), func(i int) bool { return q.jobs[i].Priority < j.Priority })
+	q.jobs = append(q.jobs, nil)
+	copy(q.jobs[i+1:], q.jobs[i:])
+	q.jobs[i] = j
 	q.cond.Broadcast()
 	return nil
 }
@@ -203,9 +210,11 @@ func (q *Queue) Depth() int {
 }
 
 // take removes and returns every queued job of kind, highest priority
-// first (FCFS within a priority). With block it waits until at least one
-// such job exists; ok=false means the queue is finished and holds nothing
-// of this kind — the dispatcher's signal to wind down.
+// first (FCFS within a priority — the order Submit maintains, so no
+// per-take sort exists to limit the ordering's scope to one call). With
+// block it waits until at least one such job exists; ok=false means the
+// queue is finished and holds nothing of this kind — the dispatcher's
+// signal to wind down.
 func (q *Queue) take(kind JobKind, block bool) (jobs []*Job, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -221,7 +230,6 @@ func (q *Queue) take(kind JobKind, block bool) (jobs []*Job, ok bool) {
 		}
 		if len(taken) > 0 {
 			q.jobs = kept
-			sort.SliceStable(taken, func(i, j int) bool { return taken[i].Priority > taken[j].Priority })
 			return taken, true
 		}
 		if q.finished {

@@ -1,0 +1,321 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Router is the multi-replica serving runtime: the real version of the
+// "upper-level load balancer as the one in Nexus" the paper assumes above
+// its single-GPU servers (§5), and the layer the serving surveys place
+// directly above iteration-level batching. It owns N independent replicas
+// — each a full Server with its own engines, allocator device, admission
+// queue, and dispatcher pair — behind the SAME front door a single server
+// exposes: /v1/classify, /v1/generate, and /v1/stats (now aggregated, with
+// a per-replica breakdown).
+//
+// Every admitted request is routed by the configured BalancePolicy. The
+// token-cost policy prices each request with a sched.RouteCostModel
+// (prompt prefill plus the decode budget the continuous scheduler would
+// reserve) and charges the chosen replica until the request resolves, so
+// a replica chewing on long prompts stops attracting traffic even when
+// its request COUNT is low — the failure mode of least-queue under
+// short-skewed length distributions.
+//
+// Every PR-4 lifecycle invariant survives unchanged because each replica
+// IS a PR-4 server: backpressure 429s (with the load-derived Retry-After)
+// come from the chosen replica's bounded queue, deadlines and client
+// disconnects are enforced by its dispatchers, and batched==solo
+// bit-identity holds per replica since replicas share nothing.
+type Router struct {
+	replicas []*replica
+	policy   BalancePolicy
+	cost     sched.RouteCostModel
+	rr       atomic.Int64 // round-robin cursor
+
+	// pickMu serializes load-reading pick + charge for the load-aware
+	// policies: a burst of concurrent arrivals would otherwise all read the
+	// same gauges before any charge lands and pile onto one replica —
+	// routing decisions must observe each other. Round-robin's atomic
+	// cursor needs no lock, and the charge itself stays atomic so release
+	// never blocks on routing.
+	pickMu sync.Mutex
+}
+
+// replica wraps one Server with the router-side load accounting the
+// balancing policies read.
+type replica struct {
+	srv *Server
+
+	routed   atomic.Int64 // jobs ever routed here
+	inflight atomic.Int64 // routed jobs not yet resolved
+	loadNS   atomic.Int64 // priced cost (ns) of unresolved jobs
+}
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Policy selects how jobs spread over replicas (default RoundRobin).
+	Policy BalancePolicy
+	// Cost prices a request for the TokenCostRouting policy: nil defaults
+	// to sched.TokenCountCost (one unit per prompt or budgeted decode
+	// token). A warm-up-fitted sched.TokenCost sharpens the estimate from
+	// token counts to device time. Other policies ignore it.
+	Cost sched.RouteCostModel
+}
+
+// NewRouter builds the multi-replica front door over already-started
+// servers. The servers must be configured identically (same model weights
+// and serving knobs) — the router spreads load, it does not dispatch by
+// capability — and ownership transfers to the router: stop them through
+// Router.Shutdown or Router.Close.
+func NewRouter(cfg RouterConfig, servers ...*Server) (*Router, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("serving: router needs at least one replica")
+	}
+	for i, s := range servers {
+		if s == nil {
+			return nil, fmt.Errorf("serving: replica %d is nil", i)
+		}
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = sched.TokenCountCost{}
+	}
+	rt := &Router{policy: cfg.Policy, cost: cost}
+	for _, s := range servers {
+		rt.replicas = append(rt.replicas, &replica{srv: s})
+	}
+	return rt, nil
+}
+
+// Replicas reports the replica count.
+func (rt *Router) Replicas() int { return len(rt.replicas) }
+
+// Policy reports the balancing policy.
+func (rt *Router) Policy() BalancePolicy { return rt.policy }
+
+// route picks the replica for a request of the given footprint and charges
+// it; the returned release function refunds the charge when the request
+// resolves (response written, stream closed, or error returned — however
+// it ends). promptTokens and newTokens size the token-cost price.
+func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
+	price := int64(rt.cost.RequestCost(promptTokens, newTokens))
+	var rep *replica
+	switch rt.policy {
+	case LeastQueue, TokenCostRouting:
+		// Pick and charge under one lock so concurrent arrivals observe
+		// each other's placements — a burst would otherwise read identical
+		// gauges and pile onto one replica.
+		rt.pickMu.Lock()
+		rep = rt.replicas[0]
+		if rt.policy == LeastQueue {
+			// Fewest unresolved jobs: queued + executing on that replica,
+			// the live analogue of the simulator's shortest-message-queue.
+			best := rep.inflight.Load()
+			for _, r := range rt.replicas[1:] {
+				if n := r.inflight.Load(); n < best {
+					rep, best = r, n
+				}
+			}
+		} else {
+			best := rep.loadNS.Load()
+			for _, r := range rt.replicas[1:] {
+				if n := r.loadNS.Load(); n < best {
+					rep, best = r, n
+				}
+			}
+		}
+		rep.inflight.Add(1)
+		rep.loadNS.Add(price)
+		rt.pickMu.Unlock()
+	default: // RoundRobin
+		rep = rt.replicas[int(rt.rr.Add(1)-1)%len(rt.replicas)]
+		rep.inflight.Add(1)
+		rep.loadNS.Add(price)
+	}
+	rep.routed.Add(1)
+	return rep, func() {
+		rep.inflight.Add(-1)
+		rep.loadNS.Add(-price)
+	}
+}
+
+// Handler returns the HTTP mux for the routed service — the same paths a
+// single Server serves.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", rt.handleClassify)
+	mux.HandleFunc("/v1/generate", rt.handleGenerate)
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	return mux
+}
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"text\": ...}")
+		return
+	}
+	// The demo tokenizer is byte-level, so the prompt token count is known
+	// before any replica is involved.
+	rep, release := rt.route(len(req.Text), 0)
+	defer release()
+	rep.srv.serveClassify(w, r, req)
+}
+
+func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}")
+		return
+	}
+	// Price prompt + resolved decode budget (replicas are identical, so
+	// replica 0's defaults resolve the budget for all of them).
+	rep, release := rt.route(len(req.Text), rt.replicas[0].srv.genBudget(req.MaxNewTokens))
+	defer release()
+	rep.srv.serveGenerate(w, r, req)
+}
+
+// ReplicaStats is one replica's row in the aggregated stats reply: the
+// router-side routing gauges plus the replica's full single-server
+// counters inlined.
+type ReplicaStats struct {
+	Replica    int   `json:"replica"`
+	JobsRouted int64 `json:"jobs_routed"`
+	InFlight   int64 `json:"in_flight"`
+	LoadNS     int64 `json:"load_ns"`
+	statsResponse
+}
+
+// RouterStats is the GET /v1/stats reply of a routed service: the
+// aggregate over all replicas in the same shape a single server reports
+// (sums for counters, max for the peak gauge, recomputed waste ratio),
+// plus the per-replica breakdown.
+type RouterStats struct {
+	Policy   string `json:"policy"`
+	Replicas int    `json:"replica_count"`
+	statsResponse
+	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// aggregateStats sums per-replica snapshots into the single-server shape.
+// Counters add; QueueDepth and the KV/reservation gauges add (they are
+// instantaneous totals across devices); GenPeakBatch takes the max, since
+// batches never span replicas; PaddingWaste is recomputed from the summed
+// token counters.
+func aggregateStats(parts []statsResponse) statsResponse {
+	var agg statsResponse
+	for _, p := range parts {
+		agg.Served += p.Served
+		agg.Requests += p.Requests
+		agg.BatchesRun += p.BatchesRun
+		agg.CacheHits += p.CacheHits
+		agg.CacheMiss += p.CacheMiss
+		agg.QueueDepth += p.QueueDepth
+		agg.JobsRejected += p.JobsRejected
+		agg.JobsExpired += p.JobsExpired
+		agg.JobsCancelled += p.JobsCancelled
+		agg.TokensProcessed += p.TokensProcessed
+		agg.TokensPadded += p.TokensPadded
+		agg.PackedBatches += p.PackedBatches
+		agg.GenRequests += p.GenRequests
+		agg.GenTokens += p.GenTokens
+		agg.GenSteps += p.GenSteps
+		if p.GenPeakBatch > agg.GenPeakBatch {
+			agg.GenPeakBatch = p.GenPeakBatch
+		}
+		agg.GenPrefillPrompts += p.GenPrefillPrompts
+		agg.GenPrefillPasses += p.GenPrefillPasses
+		agg.GenPrefillTokens += p.GenPrefillTokens
+		agg.GenReservedTokens += p.GenReservedTokens
+		agg.GenKVReservedBytes += p.GenKVReservedBytes
+		agg.GenKVUsedBytes += p.GenKVUsedBytes
+	}
+	if t := agg.TokensProcessed + agg.TokensPadded; t > 0 {
+		agg.PaddingWaste = float64(agg.TokensPadded) / float64(t)
+	}
+	return agg
+}
+
+// Stats returns the aggregated router statistics (the /v1/stats body).
+func (rt *Router) Stats() RouterStats {
+	parts := make([]statsResponse, len(rt.replicas))
+	resp := RouterStats{
+		Policy:     rt.policy.String(),
+		Replicas:   len(rt.replicas),
+		PerReplica: make([]ReplicaStats, len(rt.replicas)),
+	}
+	for i, rep := range rt.replicas {
+		parts[i] = rep.srv.statsSnapshot()
+		resp.PerReplica[i] = ReplicaStats{
+			Replica:       i,
+			JobsRouted:    rep.routed.Load(),
+			InFlight:      rep.inflight.Load(),
+			LoadNS:        rep.loadNS.Load(),
+			statsResponse: parts[i],
+		}
+	}
+	resp.statsResponse = aggregateStats(parts)
+	return resp
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, rt.Stats())
+}
+
+// Shutdown gracefully drains every replica concurrently: each stops
+// admission immediately (so no replica keeps 200-ing while another is
+// half-down), serves everything already admitted, and joins its
+// dispatchers. The first ctx expiry aborts the stragglers, exactly like
+// single-server Shutdown; the first non-nil error is returned after ALL
+// replicas have stopped.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	errs := make([]error, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range rt.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			errs[i] = rep.srv.Shutdown(ctx)
+		}(i, rep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close aborts every replica: queued jobs fail, running generations are
+// evicted, and all dispatcher goroutines are joined before returning.
+func (rt *Router) Close() {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rep.srv.Close()
+		}(rep)
+	}
+	wg.Wait()
+}

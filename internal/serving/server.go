@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +70,14 @@ type Server struct {
 	jobsRejected  atomic.Int64 // refused with 429 at the full queue
 	jobsExpired   atomic.Int64 // dropped past deadline before (or at) scheduling
 	jobsCancelled atomic.Int64 // dropped because the client went away
+
+	// completions counts every job that left the server after admission —
+	// classify results, finished generation streams, and drops/failures on
+	// either path. The drain meter differentiates it into the recent drain
+	// rate, the denominator of the load-derived Retry-After hint a 429
+	// carries.
+	completions atomic.Int64
+	drain       drainMeter
 
 	// Padding-waste accounting per executed batch: real tokens vs padding
 	// rows the engine computed (zero on the packed path, where padding
@@ -204,6 +215,92 @@ func (s *Server) countDrop(err error) {
 	} else {
 		s.jobsCancelled.Add(1)
 	}
+	s.completions.Add(1)
+}
+
+// drainMeter measures the server's recent job-completion rate by sampling
+// a monotone completion counter over sliding windows. It answers "how fast
+// is the backlog shrinking right now", the denominator of the Retry-After
+// hint — a cumulative average would stay optimistic long after the server
+// stalled.
+type drainMeter struct {
+	mu       sync.Mutex
+	start    time.Time // current window start
+	base     int64     // completions at window start
+	rate     float64   // jobs/sec over the last closed window
+	measured bool      // at least one full window has closed
+}
+
+// drainWindow is how long a measurement window lasts before the rate is
+// recomputed from it; an interval of drainStale or more means the meter
+// simply was not consulted (observe only runs on the 429 path) — a
+// quiet-then-bursty server, not a wedged one — so the stale interval is
+// discarded instead of measured as a near-zero rate.
+const (
+	drainWindow = 250 * time.Millisecond
+	drainStale  = 10 * drainWindow
+)
+
+// observe feeds the meter the current completion count and returns the
+// most recently measured drain rate. measured stays false until a full,
+// fresh window has closed — a cold (or staled-out) meter is "unknown",
+// which is NOT the same as a measured rate of zero (a wedged server).
+func (m *drainMeter) observe(now time.Time, completed int64) (rate float64, measured bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dt := now.Sub(m.start)
+	switch {
+	case m.start.IsZero(), dt >= drainStale:
+		m.start, m.base = now, completed
+		m.rate, m.measured = 0, false
+	case dt >= drainWindow:
+		m.rate = float64(completed-m.base) / dt.Seconds()
+		m.measured = true
+		m.start, m.base = now, completed
+	}
+	return m.rate, m.measured
+}
+
+// Retry-After hint bounds: never below one second (the old hardcoded
+// hint is the floor), never above a minute (past that the client should
+// just poll), and a fallback drain rate for the windows before any
+// completion has been observed.
+const (
+	minRetryAfter    = 1
+	maxRetryAfter    = 60
+	fallbackDrainPer = 8.0 // jobs/sec assumed while the meter is cold
+)
+
+// retryAfterHint derives the Retry-After seconds a 429 carries: the time
+// to drain the current queue depth at the observed completion rate,
+// clamped to [minRetryAfter, maxRetryAfter]. Deeper queues and slower
+// drains both push the hint up. A cold meter (nothing measured yet) falls
+// back to a fixed assumed rate so the hint stays monotone in depth; a
+// MEASURED rate of ~zero is the opposite case — a wedged server — and
+// hints the ceiling rather than pretending work is draining.
+func retryAfterHint(depth int, ratePerSec float64, measured bool) int {
+	if depth < 1 {
+		depth = 1
+	}
+	if !measured {
+		ratePerSec = fallbackDrainPer
+	} else if ratePerSec <= 0 {
+		return maxRetryAfter
+	}
+	hint := int(math.Ceil(float64(depth) / ratePerSec))
+	if hint < minRetryAfter {
+		return minRetryAfter
+	}
+	if hint > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return hint
+}
+
+// retryAfter computes the current backpressure hint for this server.
+func (s *Server) retryAfter() int {
+	rate, measured := s.drain.observe(time.Now(), s.completions.Load())
+	return retryAfterHint(s.queue.Depth(), rate, measured)
 }
 
 // secs converts a wall-clock time to the float seconds the schedulers use.
@@ -239,7 +336,11 @@ func (d *classifyDispatcher) Run(q *Queue) {
 		}
 
 		// Lazy strategy: give companions a window to arrive, unless a full
-		// batch is already waiting (an abort cuts the linger short).
+		// batch is already waiting (an abort cuts the linger short). The two
+		// takes are each priority-ordered but their concatenation is not, so
+		// the merged set is re-sorted — without this, a high-priority job
+		// arriving during the window would run behind the first take's
+		// low-priority work.
 		if d.batchWindow > 0 && len(jobs) < d.maxBatch {
 			timer := time.NewTimer(d.batchWindow)
 			select {
@@ -249,6 +350,7 @@ func (d *classifyDispatcher) Run(q *Queue) {
 			}
 			more, _ := q.take(JobClassify, false)
 			jobs = append(jobs, more...)
+			sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Priority > jobs[j].Priority })
 		}
 
 		// Deadline and cancellation are enforced before scheduling: an
@@ -315,6 +417,7 @@ func (d *classifyDispatcher) runBatch(b sched.Batch) {
 	}
 	classes, err := s.engine.Classify(s.root, tokens)
 	for i, j := range jobs {
+		s.completions.Add(1)
 		if err != nil {
 			j.fail(err)
 			continue
@@ -400,12 +503,14 @@ func jobErrorStatus(err error) int {
 	}
 }
 
-// writeJobError maps a lifecycle error to its status and body, adding the
-// backpressure Retry-After hint on 429.
-func writeJobError(w http.ResponseWriter, err error) {
+// writeJobError maps a lifecycle error to its status and body. A 429
+// carries a Retry-After hint derived from the server's current queue depth
+// and recent drain rate — a deeper or slower-draining queue tells the
+// client to back off longer, instead of the old constant "1".
+func (s *Server) writeJobError(w http.ResponseWriter, err error) {
 	code := jobErrorStatus(err)
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	}
 	httpError(w, code, err.Error())
 }
@@ -476,6 +581,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ...}")
 		return
 	}
+	s.serveClassify(w, r, req)
+}
+
+// serveClassify runs one already-decoded classify request through this
+// server: cache probe, admission, then the wait for the dispatcher's
+// verdict. The Router front door decodes the body itself (it prices the
+// request before picking a replica) and delegates here, so single-server
+// and routed serving share one code path.
+func (s *Server) serveClassify(w http.ResponseWriter, r *http.Request, req classifyRequest) {
 	s.requestsSeen.Add(1)
 	start := time.Now()
 
@@ -497,14 +611,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.submit(JobClassify, Tokenize(req.Text, s.engine.Cfg.Vocab), 0, req.Priority, deadline, r.Context())
 	if err != nil {
-		writeJobError(w, err)
+		s.writeJobError(w, err)
 		return
 	}
 	defer job.Cancel()
 	select {
 	case res := <-job.result:
 		if res.err != nil {
-			writeJobError(w, res.err)
+			s.writeJobError(w, res.err)
 			return
 		}
 		if s.cache != nil {
@@ -526,6 +640,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	writeJSON(w, s.statsSnapshot())
+}
+
+// statsSnapshot collects this server's counters — the single-server
+// /v1/stats body, and the per-replica building block the Router aggregates.
+func (s *Server) statsSnapshot() statsResponse {
 	var hits, misses int64
 	if s.cache != nil {
 		hits, misses = s.cache.Stats()
@@ -558,7 +678,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.GenKVReservedBytes = mem.KVReservedBytes
 		resp.GenKVUsedBytes = mem.KVUsedBytes
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

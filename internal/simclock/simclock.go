@@ -8,6 +8,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // event is one scheduled callback.
@@ -112,12 +113,16 @@ func (s *Sim) PoissonArrivals(rate float64, seed int64, until float64, fn func(i
 	}
 }
 
-// LatencyStats accumulates response-latency statistics online.
+// LatencyStats accumulates response-latency statistics online. Samples are
+// retained so tail percentiles — the metric replica routing is judged by —
+// can be computed after the run.
 type LatencyStats struct {
 	Count int64
 	Sum   float64
 	Min   float64
 	Max   float64
+
+	samples []float64
 }
 
 // NewLatencyStats returns an empty accumulator.
@@ -135,6 +140,7 @@ func (l *LatencyStats) Add(v float64) {
 	if v > l.Max {
 		l.Max = v
 	}
+	l.samples = append(l.samples, v)
 }
 
 // Avg returns the mean latency, or NaN when empty.
@@ -143,4 +149,24 @@ func (l *LatencyStats) Avg() float64 {
 		return math.NaN()
 	}
 	return l.Sum / float64(l.Count)
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) of the recorded samples by
+// the nearest-rank method, or NaN when empty. Sorting is deferred to the
+// first call, so Add stays O(1) during the run.
+func (l *LatencyStats) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	if !sort.Float64sAreSorted(l.samples) {
+		sort.Float64s(l.samples)
+	}
+	idx := int(math.Ceil(p*float64(len(l.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
 }

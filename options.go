@@ -17,11 +17,17 @@ type runtimeConfig struct {
 	engine core.Options
 
 	// Serving.
-	scheduler   Scheduler
-	maxBatch    int
-	cacheSize   int
-	batchWindow time.Duration
-	queueDepth  int
+	scheduler        Scheduler
+	schedulerFactory func() Scheduler
+	maxBatch         int
+	cacheSize        int
+	batchWindow      time.Duration
+	queueDepth       int
+
+	// Multi-replica routing.
+	replicas  int
+	policy    serving.BalancePolicy
+	routeCost sched.RouteCostModel
 
 	// Generation.
 	genDecCfg        *Config
@@ -102,7 +108,33 @@ func WithBatchWindow(d time.Duration) Option { return func(c *runtimeConfig) { c
 
 // WithQueueDepth bounds the unified admission queue; submissions beyond
 // it are refused with 429 + Retry-After (default serving.DefaultQueueDepth).
+// With replicas, each replica gets its own queue of this depth.
 func WithQueueDepth(n int) Option { return func(c *runtimeConfig) { c.queueDepth = n } }
+
+// WithReplicas serves through n independent replicas — each its own
+// engine (identical weights), allocator device, admission queue, and
+// dispatcher pair — behind one routed front door (serving.Router). n ≤ 1
+// keeps the single-server fast path. See WithBalancePolicy for how jobs
+// spread.
+func WithReplicas(n int) Option { return func(c *runtimeConfig) { c.replicas = n } }
+
+// WithBalancePolicy selects how a replicated front door routes jobs:
+// RoundRobin (default), LeastQueue, or TokenCostRouting (least outstanding
+// priced work — long prompts spread by the device time they will claim).
+func WithBalancePolicy(p BalancePolicy) Option { return func(c *runtimeConfig) { c.policy = p } }
+
+// WithRouteCost sets the request-pricing model TokenCostRouting charges
+// replicas with (e.g. a WarmupTokenCost fit). Default: token counts
+// (sched.TokenCountCost).
+func WithRouteCost(m RouteCostModel) Option { return func(c *runtimeConfig) { c.routeCost = m } }
+
+// WithSchedulerFactory builds one batch scheduler per replica — required
+// instead of WithScheduler when the scheduler is stateful and must not be
+// shared across replicas. (The built-in schedulers are stateless, so
+// WithScheduler's single shared instance is fine for them.)
+func WithSchedulerFactory(f func() Scheduler) Option {
+	return func(c *runtimeConfig) { c.schedulerFactory = f }
+}
 
 // Runtime is the assembled inference stack behind the unified API: the
 // classify engine, optionally the generation engine, and the resolved
@@ -154,7 +186,12 @@ func (rt *Runtime) Classify(ctx context.Context, batchTokens [][]int) ([]int, er
 //	rt, _ := turbo.NewRuntime(cfg, turbo.WithClasses(4))
 //	cost := turbo.WarmupCost(price, maxLen, maxBatch, stride) // price via rt.Engine
 //	srv, _ := rt.Serve(turbo.WithScheduler(turbo.NewDPScheduler(cost, 8)))
-func (rt *Runtime) Serve(opts ...Option) (*Server, error) {
+//
+// With WithReplicas(n>1) the returned Service is a serving.Router over n
+// replicas: the runtime's own engines serve replica 0 and fresh engines
+// with identical weights are built for the rest, so every replica answers
+// identically and the router is free to place any job anywhere.
+func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 	rc := rt.resolved
 	for _, o := range opts {
 		o(&rc)
@@ -162,33 +199,95 @@ func (rt *Runtime) Serve(opts ...Option) (*Server, error) {
 	if rc.genDecCfg != nil && rt.GenEngine == nil {
 		return nil, fmt.Errorf("turbo: WithGeneration must be given to NewRuntime, not Serve (the runtime owns the engines)")
 	}
-	scheduler := rc.scheduler
-	if scheduler == nil {
+	// Engine-shaping options are NewRuntime's: the runtime's engines are
+	// already built, so a Serve-time WithSeed/WithPacked/... could at best
+	// apply to the extra replicas — giving replicas different weights and
+	// letting routing change answers. Refuse rather than silently diverge.
+	if rc.engine != rt.resolved.engine {
+		return nil, fmt.Errorf("turbo: engine options (WithSeed, WithPacked, WithClasses, ...) must be given to NewRuntime, not Serve (the runtime owns the engines)")
+	}
+	if rc.genDecCfg != nil && rt.resolved.genDecCfg != nil && *rc.genDecCfg != *rt.resolved.genDecCfg {
+		return nil, fmt.Errorf("turbo: the generation decoder config must be given to NewRuntime, not changed at Serve")
+	}
+	newScheduler := func() Scheduler {
+		if rc.schedulerFactory != nil {
+			return rc.schedulerFactory()
+		}
+		if rc.scheduler != nil {
+			// The built-in schedulers are stateless; a stateful custom one
+			// must come through WithSchedulerFactory instead.
+			return rc.scheduler
+		}
 		// Demo fallback: linear cost, no warm-up. Real deployments warm up
 		// a measured cost model and pass WithScheduler.
 		maxBatch := rc.maxBatch
 		if maxBatch < 1 {
 			maxBatch = 8
 		}
-		scheduler = NewDPScheduler(sched.CostFunc(func(l, b int) time.Duration {
+		return NewDPScheduler(sched.CostFunc(func(l, b int) time.Duration {
 			return time.Duration(l*b) * time.Microsecond
 		}), maxBatch)
 	}
-	cfg := serving.ServerConfig{
-		Engine:      rt.Engine,
-		Scheduler:   scheduler,
-		MaxBatch:    rc.maxBatch,
-		CacheSize:   rc.cacheSize,
-		BatchWindow: rc.batchWindow,
-		QueueDepth:  rc.queueDepth,
+
+	replicas := rc.replicas
+	if replicas < 1 {
+		replicas = 1
 	}
-	if rt.GenEngine != nil {
-		cfg.GenEngine = rt.GenEngine
-		cfg.GenMaxBatch = rc.genMaxBatch
-		cfg.GenTokenBudget = rc.genTokenBudget
-		cfg.GenDefaultMaxNew = rc.genDefaultMaxNew
+	servers := make([]*serving.Server, 0, replicas)
+	fail := func(err error) (Service, error) {
+		for _, s := range servers {
+			s.Close()
+		}
+		return nil, err
 	}
-	return serving.NewServer(cfg)
+	for i := 0; i < replicas; i++ {
+		engine, genEngine := rt.Engine, rt.GenEngine
+		if i > 0 {
+			// Extra replicas are built from the NewRuntime-time engine
+			// options (rt.resolved), NOT the Serve-time overrides: replica 0
+			// is rt.Engine, which those overrides cannot rebuild, so letting
+			// them shape replicas 1..n-1 would give replicas different
+			// weights and let routing change answers. Serve-time options may
+			// only adjust the serving layer.
+			var err error
+			if engine, err = core.NewEngine(rt.modelCfg, rt.resolved.engine); err != nil {
+				return fail(err)
+			}
+			if rt.resolved.genDecCfg != nil {
+				if genEngine, err = core.NewGenEngine(rt.modelCfg, *rt.resolved.genDecCfg, rt.resolved.engine); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		cfg := serving.ServerConfig{
+			Engine:      engine,
+			Scheduler:   newScheduler(),
+			MaxBatch:    rc.maxBatch,
+			CacheSize:   rc.cacheSize,
+			BatchWindow: rc.batchWindow,
+			QueueDepth:  rc.queueDepth,
+		}
+		if genEngine != nil {
+			cfg.GenEngine = genEngine
+			cfg.GenMaxBatch = rc.genMaxBatch
+			cfg.GenTokenBudget = rc.genTokenBudget
+			cfg.GenDefaultMaxNew = rc.genDefaultMaxNew
+		}
+		srv, err := serving.NewServer(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		servers = append(servers, srv)
+	}
+	if replicas == 1 {
+		// Single replica keeps the PR-4 fast path: no router in front.
+		return servers[0], nil
+	}
+	router, err := serving.NewRouter(serving.RouterConfig{Policy: rc.policy, Cost: rc.routeCost}, servers...)
+	if err != nil {
+		return fail(err)
+	}
+	return router, nil
 }
 
 // Serve builds a runtime for cfg and starts the serving framework in one
@@ -206,7 +305,11 @@ func (rt *Runtime) Serve(opts ...Option) (*Server, error) {
 //	if err != nil { ... }
 //	defer srv.Shutdown(context.Background())
 //	http.ListenAndServe(addr, srv.Handler())
-func Serve(cfg Config, opts ...Option) (*Server, error) {
+//
+// Add WithReplicas(n) (and optionally WithBalancePolicy /
+// WithRouteCost) to serve through n independent replicas behind a
+// token-cost-routed load balancer — same endpoints, aggregated stats.
+func Serve(cfg Config, opts ...Option) (Service, error) {
 	rt, err := NewRuntime(cfg, opts...)
 	if err != nil {
 		return nil, err

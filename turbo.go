@@ -36,7 +36,9 @@
 package turbo
 
 import (
+	"context"
 	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/allocator"
@@ -184,7 +186,54 @@ type (
 	//
 	// Deprecated: use Serve / NewRuntime with functional options.
 	ServerConfig = serving.ServerConfig
+	// Router is the multi-replica serving runtime: N independent Servers
+	// behind one policy-routed front door with aggregated stats. Built by
+	// Serve with WithReplicas(n>1), or directly with NewRouter.
+	Router = serving.Router
+	// RouterConfig configures NewRouter.
+	RouterConfig = serving.RouterConfig
+	// RouterStats is the aggregated /v1/stats body of a routed service.
+	RouterStats = serving.RouterStats
+	// BalancePolicy selects how a Router spreads jobs over replicas.
+	BalancePolicy = serving.BalancePolicy
+	// RouteCostModel prices one request for replica routing (see
+	// TokenCostRouting); *TokenCost implements it.
+	RouteCostModel = sched.RouteCostModel
+	// TokenCountCost is the default RouteCostModel: one unit per token.
+	TokenCountCost = sched.TokenCountCost
 )
+
+// Balancing policies for WithBalancePolicy / RouterConfig.
+const (
+	// RoundRobin cycles through replicas regardless of load.
+	RoundRobin = serving.RoundRobin
+	// LeastQueue routes to the replica with the fewest unresolved jobs.
+	LeastQueue = serving.LeastQueue
+	// TokenCostRouting routes to the replica with the least outstanding
+	// PRICED work (RouteCostModel over prompt tokens + decode budget), so
+	// long prompts spread by the device time they will claim.
+	TokenCostRouting = serving.TokenCostRouting
+)
+
+// ParseBalancePolicy maps "round-robin", "least-queue", or "token-cost"
+// to its BalancePolicy (the -balance flag parser).
+func ParseBalancePolicy(s string) (BalancePolicy, error) { return serving.ParseBalancePolicy(s) }
+
+// NewRouter builds the multi-replica front door over identically
+// configured, already-started servers. Most callers should use
+// Serve(cfg, WithReplicas(n), ...) instead, which builds the replicas too.
+func NewRouter(cfg RouterConfig, replicas ...*Server) (*Router, error) {
+	return serving.NewRouter(cfg, replicas...)
+}
+
+// Service is the common surface of a single-replica *Server and a
+// multi-replica *Router — what Serve and Runtime.Serve return: mount
+// Handler, stop with Shutdown (graceful drain) or Close (abort).
+type Service interface {
+	Handler() http.Handler
+	Shutdown(ctx context.Context) error
+	Close()
+}
 
 // Job-lifecycle errors surfaced by the serving framework (mapped to HTTP
 // 429 / 503 / 504 by the handlers).
@@ -265,6 +314,12 @@ func RunExperiment(id string, w io.Writer) error {
 
 // RunAllExperiments regenerates every artefact in paper order.
 func RunAllExperiments(w io.Writer) error { return bench.RunAll(w) }
+
+// WriteBenchMetrics persists the key metrics recorded by every experiment
+// run so far in this process as machine-readable JSON (experiment → metric
+// → value) — the BENCH_*.json artefact CI uploads to track the perf
+// trajectory.
+func WriteBenchMetrics(path string) error { return bench.WriteMetricsFile(path) }
 
 // UnknownExperimentError reports a bad experiment ID.
 type UnknownExperimentError struct{ ID string }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -163,9 +164,84 @@ func TestFacadeSchedulers(t *testing.T) {
 	}
 }
 
+// TestFacadeServeReplicated drives the WithReplicas front door: Serve
+// returns a Router over n identically-weighted replicas, classify and
+// generate work unchanged, /v1/stats aggregates with a per-replica
+// breakdown, and graceful shutdown drains every replica.
+func TestFacadeServeReplicated(t *testing.T) {
+	encCfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	decCfg := turbo.Seq2SeqDecoder().Scaled(32, 4, 64, 2)
+	srv, err := turbo.Serve(encCfg,
+		turbo.WithSeed(3),
+		turbo.WithClasses(3),
+		turbo.WithGeneration(decCfg),
+		turbo.WithGenDefaultMaxNew(4),
+		turbo.WithReplicas(3),
+		turbo.WithBalancePolicy(turbo.TokenCostRouting),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, ok := srv.(*turbo.Router)
+	if !ok {
+		t.Fatalf("Serve with replicas returned %T, want *turbo.Router", srv)
+	}
+	if router.Replicas() != 3 || router.Policy() != turbo.TokenCostRouting {
+		t.Fatalf("router shape: %d replicas, policy %v", router.Replicas(), router.Policy())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 9
+	for i := 0; i < n; i++ {
+		body, _ := json.Marshal(map[string]string{"text": fmt.Sprintf("routed request %d", i)})
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d: status %d", i, resp.StatusCode)
+		}
+	}
+	body, _ := json.Marshal(map[string]interface{}{"text": "generate me", "max_new_tokens": 3})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate via routed Serve: status %d", resp.StatusCode)
+	}
+
+	stats := router.Stats()
+	if stats.Served != n || stats.GenRequests != 1 || len(stats.PerReplica) != 3 {
+		t.Fatalf("aggregated stats: %+v", stats)
+	}
+	var perReplicaServed int64
+	for _, rep := range stats.PerReplica {
+		perReplicaServed += rep.Served
+	}
+	if perReplicaServed != n {
+		t.Fatalf("per-replica served sums to %d, want %d", perReplicaServed, n)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit: status %d, want 503", resp.StatusCode)
+	}
+}
+
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := turbo.Experiments()
-	if len(ids) != 22 { // 16 paper artefacts + gen-serving + var-length + gen-decode + 3 extras
+	if len(ids) != 23 { // 16 paper artefacts + gen-serving + var-length + gen-decode + replica-routing + 3 extras
 		t.Fatalf("experiments: %v", ids)
 	}
 	var buf bytes.Buffer
