@@ -57,6 +57,9 @@ func main() {
 	genTokenBudget := flag.Int("gen-token-budget", 0, "cap on summed worst-case context tokens across running generations (0 = unlimited)")
 	genMaxNew := flag.Int("gen-max-new", 32, "default max_new_tokens for /v1/generate")
 	genPerRow := flag.Bool("gen-per-row", false, "decode with the per-row reference attention instead of the grouped ragged kernels (bit-identical oracle, for debugging/benchmarks)")
+	genPaged := flag.Bool("gen-paged", false, "page the generation KV cache through a fixed block pool with shared-prefix caching (block-gated admission, lossless preemption)")
+	genKVBlocks := flag.Int("gen-kv-blocks", 0, "paged-KV block pool capacity (0 = derive from decoder geometry)")
+	genPrefixEntries := flag.Int("gen-prefix-entries", 0, "retired generations the prefix cache keeps for prompt-identical replay (0 = default 64)")
 	flag.Parse()
 
 	cfg := turbo.BertBase().Scaled(*hidden, *heads, 4**hidden, *layers)
@@ -92,6 +95,12 @@ func main() {
 		)
 		if *genPerRow {
 			opts = append(opts, turbo.WithPerRowDecode())
+		}
+		if *genPaged {
+			opts = append(opts, turbo.WithPagedKV(*genKVBlocks))
+			if *genPrefixEntries > 0 {
+				opts = append(opts, turbo.WithPrefixCache(*genPrefixEntries))
+			}
 		}
 	}
 	rt, err := turbo.NewRuntime(cfg, opts...)
@@ -180,8 +189,12 @@ func main() {
 		if *genPerRow {
 			attn = "per-row oracle"
 		}
-		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d, %s decode attention, batched packed prefill",
-			*layers, *hidden, *genMaxBatch, attn)
+		kv := "contiguous KV"
+		if *genPaged {
+			kv = "paged KV + prefix cache"
+		}
+		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d, %s decode attention, batched packed prefill, %s",
+			*layers, *hidden, *genMaxBatch, attn, kv)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

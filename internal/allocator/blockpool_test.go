@@ -1,0 +1,187 @@
+package allocator
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBlockPoolProperty drives random alloc/retain/release interleavings
+// against a reference count model: no block is ever leaked or double-freed,
+// occupancy counters agree with the model at every step, and the device's
+// KV-reserved gauge always equals used × blockBytes (a shared block counts
+// once, however many holders map it).
+func TestBlockPoolProperty(t *testing.T) {
+	const blockBytes = 256
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dev := NewDevice()
+		capBlocks := 2 + rng.Intn(14)
+		p := NewBlockPool(dev, blockBytes, capBlocks)
+
+		refs := map[*Block]int{}        // reference model: holders per block
+		committed := map[*Block]int64{} // reference model: committed payload
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // alloc (cow half the time, same accounting)
+				var b *Block
+				if rng.Intn(2) == 0 {
+					b = p.Alloc()
+				} else {
+					b = p.AllocCoW()
+				}
+				if b == nil {
+					if len(refs) < capBlocks {
+						t.Fatalf("seed %d: alloc failed with %d/%d held", seed, len(refs), capBlocks)
+					}
+					continue
+				}
+				if len(refs) >= capBlocks {
+					t.Fatalf("seed %d: alloc succeeded past capacity", seed)
+				}
+				if _, live := refs[b]; live {
+					t.Fatalf("seed %d: alloc returned a block already held", seed)
+				}
+				refs[b] = 1
+			case 2: // retain a random held block
+				for b := range refs {
+					p.Retain(b)
+					refs[b]++
+					break
+				}
+			case 3: // release a random held block
+				for b := range refs {
+					p.Release(b)
+					refs[b]--
+					if refs[b] == 0 {
+						delete(refs, b)
+						delete(committed, b)
+					}
+					break
+				}
+			case 4: // commit rows into an exclusively held block
+				for b, r := range refs {
+					if r != 1 {
+						continue
+					}
+					if room := blockBytes - committed[b]; room > 0 {
+						n := 1 + rng.Int63n(room)
+						p.Commit(b, n)
+						committed[b] += n
+					}
+					break
+				}
+			}
+
+			wantShared := 0
+			for _, r := range refs {
+				if r > 1 {
+					wantShared++
+				}
+			}
+			st := p.Stats()
+			if st.UsedBlocks != len(refs) || st.SharedBlocks != wantShared ||
+				st.FreeBlocks != capBlocks-len(refs) {
+				t.Fatalf("seed %d op %d: stats %+v, model used=%d shared=%d",
+					seed, op, st, len(refs), wantShared)
+			}
+			if got, want := dev.Snapshot().KVReservedBytes, int64(len(refs))*blockBytes; got != want {
+				t.Fatalf("seed %d op %d: KV-reserved gauge %d, want %d", seed, op, got, want)
+			}
+			var wantUsed int64
+			for _, n := range committed {
+				wantUsed += n
+			}
+			if got := dev.Snapshot().KVUsedBytes; got != wantUsed {
+				t.Fatalf("seed %d op %d: KV-used gauge %d, model %d", seed, op, got, wantUsed)
+			}
+		}
+
+		// Drain every holder: the pool must come back fully free, the gauge
+		// to zero, and Close must release the cached device buffers.
+		for b, r := range refs {
+			for i := 0; i < r; i++ {
+				p.Release(b)
+			}
+		}
+		if st := p.Stats(); st.UsedBlocks != 0 || st.SharedBlocks != 0 {
+			t.Fatalf("seed %d: blocks leaked at shutdown: %+v", seed, st)
+		}
+		if snap := dev.Snapshot(); snap.KVReservedBytes != 0 || snap.KVUsedBytes != 0 {
+			t.Fatalf("seed %d: gauges not zero after full release: reserved=%d used=%d",
+				seed, snap.KVReservedBytes, snap.KVUsedBytes)
+		}
+		p.Close()
+		if live := dev.Snapshot().LiveBytes; live != 0 {
+			t.Fatalf("seed %d: %d device bytes live after Close", seed, live)
+		}
+	}
+}
+
+// TestBlockPoolDoubleFreePanics pins the double-free guard.
+func TestBlockPoolDoubleFreePanics(t *testing.T) {
+	p := NewBlockPool(NewDevice(), 64, 2)
+	b := p.Alloc()
+	p.Release(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(b)
+}
+
+// TestBlockPoolCloseWithHeldBlocksPanics pins the leak guard.
+func TestBlockPoolCloseWithHeldBlocksPanics(t *testing.T) {
+	p := NewBlockPool(NewDevice(), 64, 2)
+	_ = p.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("close with held blocks did not panic")
+		}
+	}()
+	p.Close()
+}
+
+// TestBlockPoolConcurrent hammers the pool from many goroutines so the
+// race detector can see the locking; each goroutine allocs, shares with
+// itself, and releases, and the pool must end exactly empty.
+func TestBlockPoolConcurrent(t *testing.T) {
+	dev := NewDevice()
+	p := NewBlockPool(dev, 128, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var held []*Block
+			for i := 0; i < 300; i++ {
+				if rng.Intn(2) == 0 && len(held) > 0 {
+					n := rng.Intn(len(held))
+					p.Release(held[n])
+					held = append(held[:n], held[n+1:]...)
+					continue
+				}
+				if b := p.Alloc(); b != nil {
+					if rng.Intn(3) == 0 {
+						p.Retain(b)
+						held = append(held, b)
+					}
+					held = append(held, b)
+				}
+			}
+			for _, b := range held {
+				p.Release(b)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if st := p.Stats(); st.UsedBlocks != 0 {
+		t.Fatalf("blocks leaked: %+v", st)
+	}
+	if got := dev.Snapshot().KVReservedBytes; got != 0 {
+		t.Fatalf("KV-reserved gauge %d after drain", got)
+	}
+	p.Close()
+}

@@ -56,6 +56,33 @@ func TestBenchSmoke(t *testing.T) {
 		t.Fatalf("grouped decode diverged from the per-row oracle:\n%s", out)
 	}
 
+	// Wiring guard for the paged-KV / prefix-cache harness: a tiny run must
+	// exercise the probe, both fixed-question servers, the replay identity
+	// checks, and the reserved-vs-used snapshot end to end (the ≥1.5× and
+	// ratio verdicts are enforced by the full-size test — a tiny geometry's
+	// streams may be too short to share blocks).
+	buf.Reset()
+	tinyPrefix := prefixCacheParams{
+		hidden: 16, heads: 2, inter: 32, layers: 1,
+		candidates: 6, questions: 3, rounds: 3,
+		maxNew: 6, contNew: 10,
+		maxBatch: 4, workers: 4,
+		gapN: 4, gapMaxNew: 12,
+		seed: 5,
+	}
+	if err := runPrefixCacheWith(&buf, tinyPrefix); err != nil {
+		t.Fatalf("prefix-cache (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"fixed-question", "speedup", "prefix-hits", "reserved-vs-used", "overcommit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prefix-cache output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("paged path diverged from the greedy oracle:\n%s", out)
+	}
+
 	// Wiring guard for the replica-routing harness: a tiny 2-replica run
 	// must exercise the live router under every policy, the single-replica
 	// overhead guard, and the cluster-simulator shape check end to end
@@ -95,6 +122,31 @@ func TestReplicaRoutingExperiment(t *testing.T) {
 	for _, want := range []string{"→ PASS", "sim shape"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("replica-routing output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrefixCacheExperiment runs the full-size paged-KV artefact (skipped
+// in -short CI where TestBenchSmoke covers the wiring) and enforces the
+// PR-6 acceptance claims: the fixed-question workload serves ≥1.5× faster
+// with shared-prefix caching than unshared contiguous KV, with blocks
+// actually shared (peak-shared > 0), streams bit-identical to the greedy
+// oracle, and the reserved-vs-used overcommit ratio shrinking under paged
+// block accounting.
+func TestPrefixCacheExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "prefix-cache")
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("paged path diverged from the greedy oracle:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("prefix-cache verdict failed:\n%s", out)
+	}
+	for _, want := range []string{"→ PASS", "overcommit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prefix-cache output missing %q:\n%s", want, out)
 		}
 	}
 }

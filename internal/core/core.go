@@ -67,6 +67,19 @@ type Options struct {
 	// either way — this is the oracle for property tests and the gen-decode
 	// benchmark.
 	PerRowDecode bool
+	// PagedKV pages a GenEngine's self-attention KV through a fixed-size
+	// block pool instead of contiguous worst-case buffers: admission gates
+	// on actual block consumption, and retired generations are kept in a
+	// prefix cache so identical prompts replay (encoder skip + block-table
+	// sharing) instead of recomputing.
+	PagedKV bool
+	// PagedKVBlocks caps the block pool (0 derives a default from the
+	// decoder's MaxTargetLen — enough worst-case block tables for 8
+	// concurrent sessions).
+	PagedKVBlocks int
+	// PrefixEntries caps the prefix cache's retired-generation entries
+	// (0 = default 64). Only meaningful with PagedKV.
+	PrefixEntries int
 }
 
 // Engine is a ready-to-serve transformer model: tokeniser-facing embedding,

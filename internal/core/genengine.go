@@ -61,6 +61,19 @@ func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error)
 		return nil, err
 	}
 	gen.PerRowAttention = opts.PerRowDecode
+	if opts.PagedKV {
+		// One block = KVChunkTokens rows of one layer's K or V; a session's
+		// worst case is its full budget across every layer's K and V. The
+		// default pool carries 8 such worst-case tables — the admission gate
+		// and preemption handle running past it.
+		blockBytes := int64(model.KVChunkTokens) * int64(decCfg.Hidden) * 4
+		capBlocks := opts.PagedKVBlocks
+		if capBlocks <= 0 {
+			perSeq := 2 * decCfg.Layers * ((decCfg.MaxTargetLen + model.KVChunkTokens - 1) / model.KVChunkTokens)
+			capBlocks = 8 * perSeq
+		}
+		gen.EnablePagedKV(allocator.NewBlockPool(dev, blockBytes, capBlocks), opts.PrefixEntries)
+	}
 	return &GenEngine{
 		Cfg:       encCfg,
 		DecCfg:    decCfg,
@@ -79,6 +92,16 @@ func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*mod
 	if len(promptTokens) == 0 {
 		return nil, fmt.Errorf("core: empty prompt")
 	}
+	if e.Generator.Paged() && e.Generator.PrefixKnown(promptTokens) {
+		// Prefix hit: the cached entry carries the encoded memory, so the
+		// whole encoder pass is skipped — no prefill pass runs at all.
+		sess, err := e.Generator.NewPagedSession(id, promptTokens, nil, maxNew)
+		if err != nil {
+			return nil, err
+		}
+		e.prefillPrompts.Add(1)
+		return sess, nil
+	}
 	hidden, seqLens, err := e.Embedding.Encode([][]int{promptTokens})
 	if err != nil {
 		return nil, err
@@ -89,7 +112,7 @@ func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*mod
 	}
 	srcLen := len(promptTokens)
 	memory := tensor.FromSlice(encoded.Data()[:srcLen*e.Cfg.Hidden], srcLen, e.Cfg.Hidden)
-	sess, err := e.Generator.NewSession(id, memory, maxNew)
+	sess, err := e.newSession(id, promptTokens, memory, maxNew)
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +120,15 @@ func (e *GenEngine) StartSession(id int64, promptTokens []int, maxNew int) (*mod
 	e.prefillPasses.Add(1)
 	e.prefillTokens.Add(int64(srcLen))
 	return sess, nil
+}
+
+// newSession opens a session over freshly encoded memory on whichever KV
+// path the generator runs.
+func (e *GenEngine) newSession(id int64, prompt []int, memory *tensor.Tensor, maxNew int) (*model.GenSession, error) {
+	if e.Generator.Paged() {
+		return e.Generator.NewPagedSession(id, prompt, memory, maxNew)
+	}
+	return e.Generator.NewSession(id, memory, maxNew)
 }
 
 // StartSessions encodes all admitted prompts in ONE packed (zero-padding)
@@ -118,28 +150,48 @@ func (e *GenEngine) StartSessions(ids []int64, prompts [][]int, maxNew []int) ([
 	if len(maxNew) != len(prompts) && len(maxNew) != 1 {
 		return nil, fmt.Errorf("core: %d budgets for %d prompts", len(maxNew), len(prompts))
 	}
-	total := 0
+	// Paged mode: prompts the prefix cache already knows need no encoding —
+	// their session reuses the cached memory — so only the misses join the
+	// packed prefill pass. A batch of all-known prompts runs zero encoder
+	// passes, the prefill half of the shared-prefix win.
+	paged := e.Generator.Paged()
+	cached := make([]bool, len(prompts))
+	var toEncode [][]int
+	encTokens := 0
 	for i, p := range prompts {
 		if len(p) == 0 {
 			return nil, fmt.Errorf("core: empty prompt at index %d", i)
 		}
-		total += len(p)
+		if paged && e.Generator.PrefixKnown(p) {
+			cached[i] = true
+			continue
+		}
+		toEncode = append(toEncode, p)
+		encTokens += len(p)
 	}
-	hidden, err := e.Embedding.EncodePacked(prompts)
-	if err != nil {
-		return nil, err
-	}
-	encoded, _, err := e.Encoder.ForwardPacked(hidden)
-	if err != nil {
-		return nil, err
+	var encoded *tensor.Packed
+	if len(toEncode) > 0 {
+		hidden, err := e.Embedding.EncodePacked(toEncode)
+		if err != nil {
+			return nil, err
+		}
+		if encoded, _, err = e.Encoder.ForwardPacked(hidden); err != nil {
+			return nil, err
+		}
 	}
 	sessions := make([]*model.GenSession, 0, len(prompts))
+	slot := 0
 	for i := range prompts {
 		budget := maxNew[0]
 		if len(maxNew) > 1 {
 			budget = maxNew[i]
 		}
-		sess, err := e.Generator.NewSession(ids[i], encoded.Request(i), budget)
+		var memory *tensor.Tensor
+		if !cached[i] {
+			memory = encoded.Request(slot)
+			slot++
+		}
+		sess, err := e.newSession(ids[i], prompts[i], memory, budget)
 		if err != nil {
 			for _, s := range sessions {
 				s.Close()
@@ -149,9 +201,30 @@ func (e *GenEngine) StartSessions(ids []int64, prompts [][]int, maxNew []int) ([
 		sessions = append(sessions, sess)
 	}
 	e.prefillPrompts.Add(int64(len(prompts)))
-	e.prefillPasses.Add(1)
-	e.prefillTokens.Add(int64(total))
+	if len(toEncode) > 0 {
+		e.prefillPasses.Add(1)
+	}
+	e.prefillTokens.Add(int64(encTokens))
 	return sessions, nil
+}
+
+// Retire hands a finished session back to the engine: paged sessions are
+// donated to the prefix cache (the next identical prompt replays instead of
+// recomputing); everything else is closed.
+func (e *GenEngine) Retire(s *model.GenSession) {
+	e.Generator.Retire(s)
+}
+
+// Close releases the paged-KV machinery — the prefix cache's retired
+// entries, then the block pool itself. Every live session must already be
+// closed; a pool with blocks still held panics (a leak in the caller's
+// bookkeeping). No-op for a legacy engine.
+func (e *GenEngine) Close() {
+	if !e.Generator.Paged() {
+		return
+	}
+	e.Generator.ClosePrefix()
+	e.Generator.BlockPool().Close()
 }
 
 // PrefillCounters reports the cumulative prefill accounting: prompts

@@ -167,6 +167,44 @@ func (d *Decoder) attend(q, keys, vals []float32, T int, ctx []float32) {
 	}
 }
 
+// attendBlocked is attend reading K/V through a paged cache's block tables
+// — the per-row reference oracle for kernels.AttentionBlocked. Scores only
+// partition the output columns per block; the context product applies the
+// blocks in ascending order with beta=1 continuation, resuming the same
+// ascending floating-point accumulation the contiguous GEMM runs — so this
+// path is bit-identical to attend over the same logical rows.
+func (d *Decoder) attendBlocked(q []float32, keyBlocks, valBlocks [][]float32, T, blockTok int, ctx []float32) {
+	h, heads := d.Cfg.Hidden, d.Cfg.Heads
+	hd := h / heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	scores := make([]float32, T)
+	for head := 0; head < heads; head++ {
+		off := head * hd
+		for b := 0; b*blockTok < T; b++ {
+			n := T - b*blockTok
+			if n > blockTok {
+				n = blockTok
+			}
+			blas.Gemm(false, true, 1, n, hd, 1, q[off:off+hd], hd, keyBlocks[b][off:], h, 0, scores[b*blockTok:], n)
+		}
+		for t := range scores {
+			scores[t] *= scale
+		}
+		kernels.Softmax(scores, 1, T)
+		for b := 0; b*blockTok < T; b++ {
+			n := T - b*blockTok
+			if n > blockTok {
+				n = blockTok
+			}
+			beta := float32(1)
+			if b == 0 {
+				beta = 0
+			}
+			blas.Gemm(false, false, 1, hd, n, 1, scores[b*blockTok:], n, valBlocks[b][off:], h, beta, ctx[off:off+hd], hd)
+		}
+	}
+}
+
 // linear computes y = x·W + b for a single row.
 func linear(x []float32, w *tensor.Tensor, b *tensor.Tensor, y []float32) {
 	k, n := w.Dim(0), w.Dim(1)

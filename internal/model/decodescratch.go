@@ -49,6 +49,13 @@ type decodeScratch struct {
 	keys, vals [][]float32
 	lens       []int
 
+	// Paged-mode gather: all sessions' K/V blocks flattened (flatKB/flatVB),
+	// per-session block counts, and the per-session sub-slices handed to the
+	// blocked kernels. Same reuse-and-clear discipline as keys/vals.
+	flatKB, flatVB [][]float32
+	blkCounts      []int
+	kb, vb         [][][]float32
+
 	// ws caches the grouped-GEMM descriptors the decode kernels build.
 	ws kernels.DecodeWorkspace
 }
@@ -125,18 +132,33 @@ func (s *decodeScratch) gather() ([][]float32, [][]float32, []int) {
 	return s.keys, s.vals, s.lens
 }
 
+// gatherBlocked resets and returns the paged-mode gather lists (flattened
+// block slices, per-session counts, context lengths), reusing their backing
+// arrays.
+func (s *decodeScratch) gatherBlocked() ([][]float32, [][]float32, []int, []int) {
+	s.clearGather()
+	return s.flatKB, s.flatVB, s.blkCounts, s.lens
+}
+
 // clearGather drops the KV references collected during an iteration
 // (truncating alone would leave stale slice headers alive in the backing
 // array, keeping freed sessions' K/V storage reachable). Called with mu
 // held.
 func (s *decodeScratch) clearGather() {
-	full := s.keys[:cap(s.keys)]
-	for i := range full {
-		full[i] = nil
+	clearRows := func(v [][]float32) [][]float32 {
+		full := v[:cap(v)]
+		for i := range full {
+			full[i] = nil
+		}
+		return v[:0]
 	}
-	full = s.vals[:cap(s.vals)]
-	for i := range full {
-		full[i] = nil
+	s.keys, s.vals = clearRows(s.keys), clearRows(s.vals)
+	s.flatKB, s.flatVB = clearRows(s.flatKB), clearRows(s.flatVB)
+	for _, v := range [2][][][]float32{s.kb[:cap(s.kb)], s.vb[:cap(s.vb)]} {
+		for i := range v {
+			v[i] = nil
+		}
 	}
-	s.keys, s.vals, s.lens = s.keys[:0], s.vals[:0], s.lens[:0]
+	s.kb, s.vb = s.kb[:0], s.vb[:0]
+	s.lens, s.blkCounts = s.lens[:0], s.blkCounts[:0]
 }

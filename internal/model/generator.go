@@ -43,6 +43,76 @@ type Generator struct {
 	// Token streams are bit-identical either way — property tests and the
 	// gen-decode benchmark pin it.
 	PerRowAttention bool
+
+	// Paged-KV mode (EnablePagedKV): sessions draw fixed-size KV blocks from
+	// pool instead of contiguous worst-case buffers, and prefix caches
+	// retired generations for prompt-identical reuse.
+	pool   *allocator.BlockPool
+	prefix *PrefixCache
+}
+
+// ErrKVPoolExhausted is returned by Step when a paged session cannot
+// acquire the blocks its next row needs. The serving loop reacts by
+// scavenging the prefix cache or preempting a session, then retries — it
+// pre-ensures block capacity before stepping, so Step itself should never
+// see this unless the pool is undersized for even one request.
+var ErrKVPoolExhausted = fmt.Errorf("model: KV block pool exhausted")
+
+// EnablePagedKV switches the generator to paged KV: sessions opened with
+// NewPagedSession page their self-attention cache through pool, and up to
+// prefixCap retired generations are kept for prompt-identical reuse
+// (encoder skip, token replay, and block-table sharing). Must be called
+// before any session is opened.
+func (g *Generator) EnablePagedKV(pool *allocator.BlockPool, prefixCap int) {
+	g.pool = pool
+	g.prefix = newPrefixCache(prefixCap)
+}
+
+// Paged reports whether EnablePagedKV was called.
+func (g *Generator) Paged() bool { return g.pool != nil }
+
+// BlockPool returns the paged-KV block pool (nil in legacy mode).
+func (g *Generator) BlockPool() *allocator.BlockPool { return g.pool }
+
+// PrefixStats snapshots prefix-cache activity (zero value in legacy mode).
+func (g *Generator) PrefixStats() PrefixCacheStats {
+	if g.prefix == nil {
+		return PrefixCacheStats{}
+	}
+	return g.prefix.stats()
+}
+
+// PrefixKnown reports whether the prefix cache holds an entry for this
+// exact prompt — the prefill loop's peek for deciding which admitted
+// prompts can skip the encoder pass. Hit/miss counters move only when a
+// session is actually opened (NewPagedSession).
+func (g *Generator) PrefixKnown(prompt []int) bool {
+	return g.prefix != nil && g.prefix.lookup(prompt) != nil
+}
+
+// ScavengePrefix drops retired decode KV from least-recently-used prefix
+// entries until at least need pool blocks come free, returning the number
+// freed. Cached token streams stay replayable.
+func (g *Generator) ScavengePrefix(need int) int {
+	if g.prefix == nil {
+		return 0
+	}
+	return g.prefix.scavenge(need)
+}
+
+// ClosePrefix releases every retired entry (server shutdown). The pool can
+// be Closed once live sessions are closed too.
+func (g *Generator) ClosePrefix() {
+	if g.prefix != nil {
+		g.prefix.drop()
+	}
+}
+
+// KVRowBytes is the device footprint one token of decoder context costs
+// across all layers' K and V — the unit converting the continuous
+// scheduler's token ledger into the device's KV byte gauges.
+func (g *Generator) KVRowBytes() int64 {
+	return int64(g.Cfg.Layers) * 2 * int64(g.Cfg.Hidden) * 4
 }
 
 // NewGenerator builds a generator around a decoder configuration. KV-cache
@@ -72,10 +142,13 @@ type GenSession struct {
 	ID int64
 
 	cc     *crossCache
-	kv     *KVCache
-	toks   []int // generated tokens, EOS included if hit
-	next   int   // token fed at the next step (BOS, then last generated)
-	pos    int   // next decode position
+	ccr    *ccRef        // refcounted, device-accounted handle on cc
+	kv     *KVCache      // legacy contiguous cache (nil in paged mode)
+	pkv    *BlockKVCache // paged cache (nil in legacy mode)
+	prompt []int         // prompt tokens, paged mode only (prefix key)
+	toks   []int         // generated tokens, EOS included if hit
+	next   int           // token fed at the next step (BOS, then last generated)
+	pos    int           // next decode position
 	maxNew int
 	done   bool
 	ctx    context.Context // nil = never cancelled
@@ -101,13 +174,42 @@ func (s *GenSession) Generated() []int { return s.toks }
 func (s *GenSession) Done() bool { return s.done }
 
 // ContextLen returns the number of tokens in the self-attention cache.
-func (s *GenSession) ContextLen() int { return s.kv.Len() }
+func (s *GenSession) ContextLen() int {
+	if s.pkv != nil {
+		return s.pkv.Len()
+	}
+	return s.kv.Len()
+}
 
 // SrcLen returns the cross-attention memory length (the prompt width).
 func (s *GenSession) SrcLen() int { return s.cc.srcLen }
 
 // KVBytes returns the session's current KV-cache device footprint.
-func (s *GenSession) KVBytes() int64 { return s.kv.Bytes() }
+func (s *GenSession) KVBytes() int64 {
+	if s.pkv != nil {
+		return s.pkv.Bytes()
+	}
+	return s.kv.Bytes()
+}
+
+// KVBlocks returns the pool blocks the session holds (0 in legacy mode).
+func (s *GenSession) KVBlocks() int {
+	if s.pkv == nil {
+		return 0
+	}
+	return s.pkv.Blocks()
+}
+
+// EnsureAppendable pre-acquires (and copy-on-writes) whatever blocks the
+// session's next decode row needs, returning false when the pool cannot
+// supply them — the serving loop's pre-step reservation hook. Always true
+// for legacy or finished sessions. Idempotent.
+func (s *GenSession) EnsureAppendable() bool {
+	if s.pkv == nil || s.done {
+		return true
+	}
+	return s.pkv.EnsureAppendable()
+}
 
 // NewSession opens a generation session over encoder memory
 // [srcLen, hidden], producing at most maxNew tokens (clamped to the
@@ -121,13 +223,123 @@ func (g *Generator) NewSession(id int64, memory *tensor.Tensor, maxNew int) (*Ge
 	if maxNew <= 0 || maxNew > g.Cfg.MaxTargetLen {
 		maxNew = g.Cfg.MaxTargetLen
 	}
+	kv, err := NewKVCache(g.dev, g.Cfg.Layers, g.Cfg.Hidden, maxNew)
+	if err != nil {
+		return nil, err
+	}
+	ccr := newCCRef(g.dev, g.dec.buildCrossCache(memory), g.Cfg.Hidden)
 	return &GenSession{
 		ID:     id,
-		cc:     g.dec.buildCrossCache(memory),
-		kv:     NewKVCache(g.dev, g.Cfg.Layers, g.Cfg.Hidden, maxNew),
+		cc:     ccr.cc,
+		ccr:    ccr,
+		kv:     kv,
 		next:   TokBos,
 		maxNew: maxNew,
 	}, nil
+}
+
+// NewPagedSession opens a generation session in paged-KV mode, keyed by the
+// prompt's tokens. On a prefix hit (an identical prompt was retired before)
+// the cached cross cache is shared — memory may be nil, letting the caller
+// skip the encoder pass entirely — the cached greedy stream is replayed up
+// to maxNew (bit-identical to decoding, greedy is deterministic), and a
+// continuation past it maps the retired block tables copy-free. On a miss,
+// memory must be the encoded prompt and decoding starts from scratch over
+// an empty block table.
+func (g *Generator) NewPagedSession(id int64, prompt []int, memory *tensor.Tensor, maxNew int) (*GenSession, error) {
+	if g.pool == nil {
+		return nil, fmt.Errorf("model %s: paged session without EnablePagedKV", g.Cfg.Name)
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("model %s: paged session needs the prompt tokens", g.Cfg.Name)
+	}
+	if maxNew <= 0 || maxNew > g.Cfg.MaxTargetLen {
+		maxNew = g.Cfg.MaxTargetLen
+	}
+	entry := g.prefix.lookup(prompt)
+	var ccr *ccRef
+	switch {
+	case entry != nil:
+		ccr = entry.ccr.retain()
+		g.prefix.hits++
+	case memory == nil:
+		return nil, fmt.Errorf("model %s: prompt not cached and no memory supplied", g.Cfg.Name)
+	default:
+		if memory.Rank() != 2 || memory.Dim(1) != g.Cfg.Hidden {
+			return nil, fmt.Errorf("model %s: memory shape %v, want [srcLen, %d]",
+				g.Cfg.Name, memory.Shape(), g.Cfg.Hidden)
+		}
+		ccr = newCCRef(g.dev, g.dec.buildCrossCache(memory), g.Cfg.Hidden)
+		g.prefix.misses++
+	}
+	pkv, err := NewBlockKVCache(g.pool, g.Cfg.Layers, g.Cfg.Hidden)
+	if err != nil {
+		ccr.release()
+		return nil, err
+	}
+	s := &GenSession{
+		ID:     id,
+		cc:     ccr.cc,
+		ccr:    ccr,
+		pkv:    pkv,
+		prompt: append([]int(nil), prompt...),
+		next:   TokBos,
+		maxNew: maxNew,
+	}
+	if entry == nil {
+		return s, nil
+	}
+	replay := len(entry.toks)
+	if replay > maxNew {
+		replay = maxNew
+	}
+	if replay == maxNew || entry.hitEos {
+		// The cached stream answers the request outright: budget reached, or
+		// the cache holds the full stream to EOS. Born done, zero decode.
+		s.toks = append(s.toks, entry.toks[:replay]...)
+		s.pos = replay
+		s.done = true
+		g.prefix.replayToks += int64(replay)
+		return s, nil
+	}
+	// Continuation: the cached stream is shorter than the budget and open-
+	// ended. Map its block tables (copy-on-write at the tail) and resume
+	// exactly where the donor stopped; if the KV was scavenged, fall through
+	// to a fresh decode — the shared cross cache still skipped the encoder.
+	if entry.kv != nil && entry.kv.Len() == replay && replay > 0 {
+		if err := pkv.MapFrom(entry.kv, replay); err != nil {
+			ccr.release()
+			pkv.Free()
+			return nil, err
+		}
+		s.toks = append(s.toks, entry.toks[:replay]...)
+		s.pos = replay
+		s.next = entry.toks[replay-1]
+		g.prefix.replayToks += int64(replay)
+	}
+	return s, nil
+}
+
+// Retire donates a naturally-completed paged session to the prefix cache —
+// its cross cache, token stream, and block tables — instead of freeing
+// them, so the next identical prompt replays instead of recomputing. Falls
+// back to Close for legacy sessions, unfinished sessions (their stream is
+// not a valid replay), or when an existing entry already covers the prompt.
+func (g *Generator) Retire(s *GenSession) {
+	if s == nil {
+		return
+	}
+	if g.prefix == nil || s.pkv == nil || s.prompt == nil || !s.done {
+		s.Close()
+		return
+	}
+	hitEos := len(s.toks) > 0 && s.toks[len(s.toks)-1] == TokEos
+	if g.prefix.insert(s.prompt, s.ccr, s.toks, hitEos, s.pkv) {
+		// Ownership moved to the cache entry.
+		s.ccr, s.pkv, s.kv = nil, nil, nil
+		return
+	}
+	s.Close()
 }
 
 // Close releases the session's device memory. Idempotent.
@@ -135,6 +347,14 @@ func (s *GenSession) Close() {
 	if s.kv != nil {
 		s.kv.Free()
 		s.kv = nil
+	}
+	if s.pkv != nil {
+		s.pkv.Free()
+		s.pkv = nil
+	}
+	if s.ccr != nil {
+		s.ccr.release()
+		s.ccr = nil
 	}
 }
 
@@ -148,16 +368,31 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 	}
 	// Iteration shape: Σ self-context (including the row each session is
 	// about to append) and Σ cross-context size the score scratch must hold.
+	paged := sessions[0].pkv != nil
 	sumSelf, sumCross := 0, 0
 	for _, s := range sessions {
 		if s.done {
 			return nil, fmt.Errorf("model %s: session %d already done", g.Cfg.Name, s.ID)
 		}
-		if s.kv == nil {
+		if s.kv == nil && s.pkv == nil {
 			return nil, fmt.Errorf("model %s: session %d closed", g.Cfg.Name, s.ID)
 		}
-		sumSelf += s.kv.Len() + 1
+		if (s.pkv != nil) != paged {
+			return nil, fmt.Errorf("model %s: mixed paged and contiguous sessions in one batch", g.Cfg.Name)
+		}
+		sumSelf += s.ContextLen() + 1
 		sumCross += s.cc.srcLen
+	}
+	// Paged sessions pre-acquire this step's boundary/CoW blocks so the
+	// append loop below cannot fail mid-iteration. Serving loops call
+	// EnsureAppendable themselves before stepping (to scavenge or preempt on
+	// exhaustion); this re-check is then a cheap no-op.
+	if paged {
+		for _, s := range sessions {
+			if !s.pkv.EnsureAppendable() {
+				return nil, ErrKVPoolExhausted
+			}
+		}
 	}
 	maxCtx := sumSelf
 	if sumCross > maxCtx {
@@ -211,13 +446,47 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 		batchedLinear(x, mat(lw.selfWq, lw.selfBq), q)
 		batchedLinear(x, mat(lw.selfWk, lw.selfBk), kNew)
 		batchedLinear(x, mat(lw.selfWv, lw.selfBv), vNew)
-		if g.PerRowAttention {
+		switch {
+		case g.PerRowAttention && paged:
+			for ri, s := range sessions {
+				s.pkv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
+				T := s.pkv.Len() + 1 // include the row just appended
+				d.attendBlocked(q[ri*h:(ri+1)*h],
+					s.pkv.KBlocks(nil, l, T), s.pkv.VBlocks(nil, l, T),
+					T, s.pkv.BlockTokens(), ctx[ri*h:(ri+1)*h])
+			}
+		case g.PerRowAttention:
 			for ri, s := range sessions {
 				s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
 				T := s.kv.Len() + 1 // include the row just appended
 				d.attend(q[ri*h:(ri+1)*h], s.kv.K(l, T), s.kv.V(l, T), T, ctx[ri*h:(ri+1)*h])
 			}
-		} else {
+		case paged:
+			// Grouped blocked attention: the kernels read K/V straight
+			// through each session's block tables — no gather copy, and
+			// bit-identical to the contiguous grouped path.
+			flatK, flatV, counts, lens := scr.gatherBlocked()
+			for ri, s := range sessions {
+				s.pkv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
+				T := s.pkv.Len() + 1
+				before := len(flatK)
+				flatK = s.pkv.KBlocks(flatK, l, T)
+				flatV = s.pkv.VBlocks(flatV, l, T)
+				counts = append(counts, len(flatK)-before)
+				lens = append(lens, T)
+			}
+			kb, vb := scr.kb[:0], scr.vb[:0]
+			off := 0
+			for _, n := range counts {
+				kb = append(kb, flatK[off:off+n])
+				vb = append(vb, flatV[off:off+n])
+				off += n
+			}
+			scr.flatKB, scr.flatVB, scr.blkCounts, scr.lens = flatK, flatV, counts, lens
+			scr.kb, scr.vb = kb, vb
+			scr.ws.AttentionBlocked(q, kb, vb, lens, sessions[0].pkv.BlockTokens(),
+				heads, hd, scale, scr.scores[:heads*sumSelf], ctx)
+		default:
 			keys, vals, lens := scr.gather()
 			for ri, s := range sessions {
 				s.kv.AppendRow(l, kNew[ri*h:(ri+1)*h], vNew[ri*h:(ri+1)*h])
@@ -270,7 +539,11 @@ func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
 		tok := argmax(logits[ri*vocab : (ri+1)*vocab])
 		out[ri] = tok
 		s.toks = append(s.toks, tok)
-		s.kv.Advance()
+		if s.pkv != nil {
+			s.pkv.Advance()
+		} else {
+			s.kv.Advance()
+		}
 		s.pos++
 		s.next = tok
 		if tok == TokEos || len(s.toks) >= s.maxNew {

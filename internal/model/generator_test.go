@@ -155,7 +155,10 @@ func TestGeneratorBatchedMatchesSolo(t *testing.T) {
 func TestKVCacheGrowthAndAccounting(t *testing.T) {
 	dev := allocator.NewDevice()
 	const layers, hidden = 2, 8
-	c := NewKVCache(dev, layers, hidden, 4)
+	c, err := NewKVCache(dev, layers, hidden, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.CapTokens() != KVChunkTokens {
 		t.Fatalf("initial capacity %d, want one chunk (%d)", c.CapTokens(), KVChunkTokens)
 	}

@@ -9,13 +9,24 @@ import (
 // KVChunkTokens is the granularity of KV-cache capacity growth. Like
 // Algorithm 1's 2 MB activation chunks, growing in fixed token chunks
 // bounds reallocation traffic while keeping slack proportional to the
-// chunk, not the sequence.
+// chunk, not the sequence. It is also the block size of the paged
+// BlockKVCache — one block holds KVChunkTokens rows of one layer's K or V.
 const KVChunkTokens = 32
 
-// kvGrowthScale mirrors the allocator's K_SCALE: when a cache must grow,
-// reserve 20% headroom past the requested length so steady token-by-token
-// growth does not reallocate every chunk boundary exactly.
-const kvGrowthScale = 1.2
+// kvGrowthNum/kvGrowthDen mirror the allocator's K_SCALE = 1.2: when a
+// cache must grow, reserve 20% headroom past the requested length so steady
+// token-by-token growth does not reallocate every chunk boundary exactly.
+// Integer math keeps the policy exact (and overflow-checkable) at any size.
+const (
+	kvGrowthNum = 6
+	kvGrowthDen = 5
+)
+
+// maxKVTokens bounds a single cache's token capacity. Device KV budgets are
+// int64 bytes while token arithmetic is int; an adversarially large
+// expectTokens must be rejected up front (NewKVCache returns an error)
+// rather than overflowing into a negative Malloc panic.
+const maxKVTokens = 1 << 40
 
 // KVCache is one generation request's self-attention key/value store: per
 // layer, a contiguous [tokens, hidden] K and V region. The backing buffers
@@ -26,43 +37,88 @@ const kvGrowthScale = 1.2
 // Capacity is sequence-length-aware: a session opens with room for its
 // expected total length (prompt-proportional, like the paper's zh→en ≈1:1
 // heuristic), so the common case never reallocates mid-generation.
+//
+// Reservation accounting: the device's KV-reserved gauge is charged for
+// exactly the admission grant (expectTokens rows) — NOT the chunk-rounded,
+// headroom-scaled buffer capacity — so the gauge and the continuous
+// scheduler's token ledger are the same figure in different units. Buffer
+// slack past the grant is visible in LiveBytes, where capacity belongs. If
+// a cache ever outgrows its grant (admission under-budgeted), the
+// reservation extends row by row so used ≤ reserved stays invariant.
 type KVCache struct {
-	dev    *allocator.Device
-	hidden int
-	k, v   []*allocator.Buffer // one per layer
-	length int                 // tokens currently stored
-	capTok int                 // token capacity of every buffer
+	dev         *allocator.Device
+	hidden      int
+	k, v        []*allocator.Buffer // one per layer
+	length      int                 // tokens currently stored
+	capTok      int                 // token capacity of every buffer
+	reservedTok int                 // tokens charged to the KV-reserved gauge
 }
 
 // roundUpTokens applies the growth policy: headroom-scaled and rounded to
-// the chunk granularity.
+// the chunk granularity, clamped so the result never exceeds maxKVTokens
+// (token counts near the cap skip the headroom rather than overflow).
 func roundUpTokens(need int) int {
-	scaled := int(float64(need) * kvGrowthScale)
-	if scaled < need {
-		scaled = need
+	if need < 1 {
+		need = 1
+	}
+	if need > maxKVTokens {
+		return need // caller validates against the budget; never scale past it
+	}
+	scaled := need / kvGrowthDen * kvGrowthNum
+	if rem := need % kvGrowthDen; rem > 0 {
+		scaled += rem * kvGrowthNum / kvGrowthDen
+	}
+	if scaled > maxKVTokens {
+		scaled = maxKVTokens
 	}
 	return (scaled + KVChunkTokens - 1) / KVChunkTokens * KVChunkTokens
 }
 
+// kvBufferBytes returns the byte size of one layer's K (or V) buffer for
+// tokens rows, or an error when the size cannot be represented.
+func kvBufferBytes(tokens, hidden int) (int64, error) {
+	if tokens < 0 || tokens > maxKVTokens {
+		return 0, fmt.Errorf("model: KV token count %d outside [0, %d]", tokens, maxKVTokens)
+	}
+	bytes := int64(tokens) * int64(hidden) * 4
+	if hidden > 0 && bytes/int64(hidden)/4 != int64(tokens) {
+		return 0, fmt.Errorf("model: KV buffer size overflows (%d tokens × hidden %d)", tokens, hidden)
+	}
+	return bytes, nil
+}
+
 // NewKVCache reserves device-accounted K/V storage for layers decoder
-// layers with the given hidden size, sized for expectTokens total tokens.
-func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) *KVCache {
+// layers with the given hidden size, sized for expectTokens total tokens —
+// the admission grant. A grant the device budget cannot represent is
+// rejected with an error instead of panicking inside Malloc.
+func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCache, error) {
 	if layers <= 0 || hidden <= 0 {
-		panic(fmt.Sprintf("model: invalid KV cache geometry layers=%d hidden=%d", layers, hidden))
+		return nil, fmt.Errorf("model: invalid KV cache geometry layers=%d hidden=%d", layers, hidden)
 	}
 	if expectTokens < 1 {
 		expectTokens = 1
 	}
-	c := &KVCache{dev: dev, hidden: hidden, capTok: roundUpTokens(expectTokens)}
-	bytes := int64(c.capTok) * int64(hidden) * 4
+	if expectTokens > maxKVTokens {
+		return nil, fmt.Errorf("model: KV grant %d tokens exceeds the %d-token device budget", expectTokens, maxKVTokens)
+	}
+	capTok := roundUpTokens(expectTokens)
+	bytes, err := kvBufferBytes(capTok, hidden)
+	if err != nil {
+		return nil, err
+	}
+	// Whole-cache footprint must be representable too: 2 buffers × layers.
+	if total := bytes * 2 * int64(layers); bytes != 0 && total/bytes != 2*int64(layers) {
+		return nil, fmt.Errorf("model: KV cache footprint overflows (%d layers × %d bytes)", layers, bytes)
+	}
+	c := &KVCache{dev: dev, hidden: hidden, capTok: capTok, reservedTok: expectTokens}
 	for l := 0; l < layers; l++ {
 		c.k = append(c.k, dev.Malloc(bytes))
 		c.v = append(c.v, dev.Malloc(bytes))
 	}
-	// The whole up-front reservation is what admission control budgeted for
-	// this session; Advance moves bytes from reserved-only to used.
-	dev.AddKVReserved(c.Bytes())
-	return c
+	// The reservation gauge carries exactly what admission control granted;
+	// Advance moves bytes from reserved-only to used.
+	dev.AddKVReserved(int64(c.reservedTok) * c.rowBytes())
+	return c, nil
 }
 
 // rowBytes is the device footprint one committed token adds across all
@@ -72,9 +128,15 @@ func (c *KVCache) rowBytes() int64 {
 }
 
 // UsedBytes returns the bytes actually occupied by committed context rows
-// (≤ Bytes(), the reservation).
+// (≤ ReservedBytes()).
 func (c *KVCache) UsedBytes() int64 {
 	return int64(c.length) * c.rowBytes()
+}
+
+// ReservedBytes returns the bytes charged to the device's KV-reserved
+// gauge: the admission grant (extended only if the cache outgrew it).
+func (c *KVCache) ReservedBytes() int64 {
+	return int64(c.reservedTok) * c.rowBytes()
 }
 
 // Len returns the number of tokens stored.
@@ -83,7 +145,8 @@ func (c *KVCache) Len() int { return c.length }
 // CapTokens returns the current token capacity.
 func (c *KVCache) CapTokens() int { return c.capTok }
 
-// Bytes returns the cache's total device footprint.
+// Bytes returns the cache's total device footprint (capacity, ≥ the
+// reservation — chunk rounding and growth headroom live here).
 func (c *KVCache) Bytes() int64 {
 	var total int64
 	for _, b := range c.k {
@@ -100,9 +163,11 @@ func (c *KVCache) Bytes() int64 {
 // traffic counters, exactly like a chunk reallocation in Algorithm 1.
 func (c *KVCache) grow(need int) {
 	newCap := roundUpTokens(need)
-	bytes := int64(newCap) * int64(c.hidden) * 4
+	bytes, err := kvBufferBytes(newCap, c.hidden)
+	if err != nil {
+		panic(fmt.Sprintf("model: KV growth past validated grant: %v", err))
+	}
 	liveFloats := c.length * c.hidden
-	before := c.Bytes()
 	for l := range c.k {
 		nk := c.dev.Malloc(bytes)
 		nv := c.dev.Malloc(bytes)
@@ -113,12 +178,13 @@ func (c *KVCache) grow(need int) {
 		c.k[l], c.v[l] = nk, nv
 	}
 	c.capTok = newCap
-	c.dev.AddKVReserved(c.Bytes() - before)
 }
 
 // AppendRow stores one token's K and V rows for the given layer at the
 // next position. Every layer must append exactly once per step, then
-// Advance commits the token.
+// Advance commits the token. Appending never touches the KV gauges — an
+// eviction between AppendRow and Advance (mid-step cancel or deadline)
+// releases exactly what was reserved and committed, nothing more.
 func (c *KVCache) AppendRow(layer int, kRow, vRow []float32) {
 	if len(kRow) != c.hidden || len(vRow) != c.hidden {
 		panic(fmt.Sprintf("model: KV row size %d/%d, want %d", len(kRow), len(vRow), c.hidden))
@@ -131,9 +197,15 @@ func (c *KVCache) AppendRow(layer int, kRow, vRow []float32) {
 	copy(c.v[layer].Data()[off:off+c.hidden], vRow)
 }
 
-// Advance commits the row appended to every layer this step.
+// Advance commits the row appended to every layer this step. A session
+// that outgrows its admission grant extends the reservation row by row, so
+// the used gauge can never exceed the reserved gauge.
 func (c *KVCache) Advance() {
 	c.length++
+	if c.length > c.reservedTok {
+		c.reservedTok = c.length
+		c.dev.AddKVReserved(c.rowBytes())
+	}
 	c.dev.AddKVUsed(c.rowBytes())
 }
 
@@ -145,17 +217,19 @@ func (c *KVCache) K(l, tokens int) []float32 { return c.k[l].Data()[:tokens*c.hi
 func (c *KVCache) V(l, tokens int) []float32 { return c.v[l].Data()[:tokens*c.hidden] }
 
 // Free returns all buffers to the device (request evicted or finished) and
-// releases the reservation and usage gauges. Idempotent.
+// releases the reservation and usage gauges — exactly the bytes charged,
+// whatever state the cache is in (including between AppendRow and
+// Advance). Idempotent.
 func (c *KVCache) Free() {
 	if c.k == nil {
 		return
 	}
-	c.dev.AddKVReserved(-c.Bytes())
+	c.dev.AddKVReserved(-c.ReservedBytes())
 	c.dev.AddKVUsed(-c.UsedBytes())
 	for l := range c.k {
 		c.dev.Free(c.k[l])
 		c.dev.Free(c.v[l])
 	}
 	c.k, c.v = nil, nil
-	c.length, c.capTok = 0, 0
+	c.length, c.capTok, c.reservedTok = 0, 0, 0
 }

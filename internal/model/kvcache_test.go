@@ -1,0 +1,121 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/allocator"
+)
+
+// TestKVCacheReservationMatchesGrant pins the one-ledger reconciliation:
+// the device's KV-reserved gauge must equal the admission grant exactly —
+// the same figure the continuous scheduler budgets in tokens — never the
+// headroom-scaled, chunk-rounded buffer capacity. Before the fix a
+// 2048-token grant reserved roundUpTokens(2048) = 2464 tokens' bytes on
+// the device, so gen_kv_reserved_bytes exceeded what admission granted.
+func TestKVCacheReservationMatchesGrant(t *testing.T) {
+	const layers, hidden = 3, 16
+	perTok := int64(layers) * 2 * hidden * 4
+	for _, grant := range []int{1, 5, KVChunkTokens, KVChunkTokens + 1, 2048} {
+		dev := allocator.NewDevice()
+		c, err := NewKVCache(dev, layers, hidden, grant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := dev.Snapshot().KVReservedBytes, int64(grant)*perTok; got != want {
+			t.Fatalf("grant %d: device reserved %d bytes, admission granted %d", grant, got, want)
+		}
+		if got, want := c.ReservedBytes(), int64(grant)*perTok; got != want {
+			t.Fatalf("grant %d: ReservedBytes %d, want %d", grant, got, want)
+		}
+		c.Free()
+		if snap := dev.Snapshot(); snap.KVReservedBytes != 0 || snap.KVUsedBytes != 0 {
+			t.Fatalf("grant %d: gauges not zero after Free: %+v", grant, snap)
+		}
+	}
+}
+
+// TestKVCacheMidStepFreeZeroesGauges pins the eviction-between-AppendRow-
+// and-Advance path (mid-step cancel or deadline): a row appended to every
+// layer but never committed must not leak into either KV gauge when the
+// cache is freed.
+func TestKVCacheMidStepFreeZeroesGauges(t *testing.T) {
+	const layers, hidden = 2, 8
+	dev := allocator.NewDevice()
+	c, err := NewKVCache(dev, layers, hidden, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float32, hidden)
+	// Two committed tokens, then a third appended but NOT advanced — the
+	// state a mid-step eviction sees.
+	for tok := 0; tok < 2; tok++ {
+		for l := 0; l < layers; l++ {
+			c.AppendRow(l, row, row)
+		}
+		c.Advance()
+	}
+	for l := 0; l < layers; l++ {
+		c.AppendRow(l, row, row)
+	}
+	c.Free()
+	c.Free() // idempotent
+	snap := dev.Snapshot()
+	if snap.KVReservedBytes != 0 || snap.KVUsedBytes != 0 {
+		t.Fatalf("mid-step free left gauges non-zero: reserved=%d used=%d",
+			snap.KVReservedBytes, snap.KVUsedBytes)
+	}
+	if snap.LiveBytes != 0 {
+		t.Fatalf("mid-step free left %d device bytes live", snap.LiveBytes)
+	}
+}
+
+// TestKVCacheRejectsOversizeGrant pins the adversarial-size fix: an
+// expectTokens past the device budget must come back as an error from
+// NewKVCache, never as an overflowed (negative) Malloc panic.
+func TestKVCacheRejectsOversizeGrant(t *testing.T) {
+	dev := allocator.NewDevice()
+	for _, grant := range []int{maxKVTokens + 1, int(^uint(0) >> 1)} {
+		c, err := NewKVCache(dev, 2, 8, grant)
+		if err == nil {
+			c.Free()
+			t.Fatalf("grant %d: want error, got cache", grant)
+		}
+		if !strings.Contains(err.Error(), "budget") {
+			t.Fatalf("grant %d: unexpected error %v", grant, err)
+		}
+	}
+	// Gauges and live bytes untouched by the rejected construction.
+	if snap := dev.Snapshot(); snap.LiveBytes != 0 || snap.KVReservedBytes != 0 {
+		t.Fatalf("rejected grant leaked device state: %+v", snap)
+	}
+}
+
+// TestRoundUpTokensClampAndPolicy: the growth policy keeps its 1.2×,
+// chunk-rounded shape at normal sizes and clamps instead of overflowing at
+// adversarial ones.
+func TestRoundUpTokensClampAndPolicy(t *testing.T) {
+	cases := []struct{ need, want int }{
+		{0, KVChunkTokens},
+		{1, KVChunkTokens},
+		{10, KVChunkTokens},
+		{KVChunkTokens, 2 * KVChunkTokens}, // 32×1.2 = 38.4 → 64
+		{100, 4 * KVChunkTokens},           // 120 → 128
+		{maxKVTokens, maxKVTokens},         // at the cap: no headroom, no overflow
+		{maxKVTokens + 7, maxKVTokens + 7}, // past the cap: identity (constructor rejects)
+	}
+	for _, tc := range cases {
+		if got := roundUpTokens(tc.need); got != tc.want {
+			t.Fatalf("roundUpTokens(%d) = %d, want %d", tc.need, got, tc.want)
+		}
+	}
+	// Monotone and never below need, across a sweep.
+	prev := 0
+	for need := 1; need < 4*KVChunkTokens; need++ {
+		got := roundUpTokens(need)
+		if got < need || got%KVChunkTokens != 0 || got < prev {
+			t.Fatalf("roundUpTokens(%d) = %d violates policy", need, got)
+		}
+		prev = got
+	}
+}

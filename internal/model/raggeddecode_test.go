@@ -179,18 +179,27 @@ func TestDecodeScratchPlanReuse(t *testing.T) {
 // reserved throughout and both released on Free.
 func TestKVReservedVsUsedGauges(t *testing.T) {
 	dev := allocator.NewDevice()
-	const layers, hidden = 2, 8
-	c := NewKVCache(dev, layers, hidden, 10)
+	const layers, hidden, grant = 2, 8, 10
+	c, err := NewKVCache(dev, layers, hidden, grant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTok := int64(layers) * 2 * hidden * 4
 	snap := dev.Snapshot()
-	if snap.KVReservedBytes != c.Bytes() {
-		t.Fatalf("reserved %d, want the full up-front reservation %d", snap.KVReservedBytes, c.Bytes())
+	// One ledger: the reserved gauge carries exactly the admission grant —
+	// not the chunk-rounded, headroom-scaled buffer capacity (that slack is
+	// capacity and lives in LiveBytes only).
+	if snap.KVReservedBytes != grant*perTok {
+		t.Fatalf("reserved %d, want the %d-token admission grant (%d)", snap.KVReservedBytes, grant, grant*perTok)
+	}
+	if c.Bytes() <= snap.KVReservedBytes {
+		t.Fatalf("buffer capacity %d not larger than the grant %d — growth headroom missing", c.Bytes(), snap.KVReservedBytes)
 	}
 	if snap.KVUsedBytes != 0 {
 		t.Fatalf("used %d before any token", snap.KVUsedBytes)
 	}
 	row := make([]float32, hidden)
-	perTok := int64(layers) * 2 * hidden * 4
-	for tok := 1; tok <= KVChunkTokens+2; tok++ { // crosses a growth boundary
+	for tok := 1; tok <= KVChunkTokens+2; tok++ { // outgrows the grant AND crosses a growth boundary
 		for l := 0; l < layers; l++ {
 			c.AppendRow(l, row, row)
 		}
@@ -202,8 +211,14 @@ func TestKVReservedVsUsedGauges(t *testing.T) {
 		if snap.KVUsedBytes > snap.KVReservedBytes {
 			t.Fatalf("used %d exceeds reserved %d", snap.KVUsedBytes, snap.KVReservedBytes)
 		}
-		if snap.KVReservedBytes != c.Bytes() {
-			t.Fatalf("reserved gauge %d drifted from cache bytes %d", snap.KVReservedBytes, c.Bytes())
+		// Past the grant the reservation extends row by row (admission
+		// under-budgeted); within it, it stays pinned to the grant.
+		wantRes := int64(grant) * perTok
+		if tok > grant {
+			wantRes = int64(tok) * perTok
+		}
+		if snap.KVReservedBytes != wantRes {
+			t.Fatalf("after %d tokens: reserved gauge %d, want %d", tok, snap.KVReservedBytes, wantRes)
 		}
 	}
 	c.Free()

@@ -50,10 +50,19 @@ func (r *GenRequest) Expired(now float64) bool {
 //     guard. Reserving the worst case up front means an admitted request
 //     can always run to completion without mid-flight eviction.
 //
+// When a BlockGate is installed (paged KV), the worst-case TokenBudget
+// check is replaced by actual block consumption: a request is admitted
+// while the pool can cover its next decode step and stay above the
+// watermark. Admission is then optimistic — a long tail of decoding can
+// still run the pool dry — so the serving loop pairs the gate with
+// PreemptLowest: the lowest-priority (ties: latest-arriving) running
+// request is pushed back to the FRONT of its priority class and recomputed
+// on readmission, which greedy determinism makes lossless.
+//
 // All methods are safe for concurrent use.
 type ContinuousScheduler struct {
 	MaxBatch    int // max concurrent sequences (default 8)
-	TokenBudget int // cap on Σ reserved tokens; 0 = unlimited
+	TokenBudget int // cap on Σ reserved tokens; 0 = unlimited; ignored under a BlockGate
 
 	// Cancelled, when non-nil, reports a queued request as abandoned.
 	// Admit discards such requests instead of admitting them, so a dead
@@ -61,11 +70,30 @@ type ContinuousScheduler struct {
 	// reservation would not fit. Set before the first Admit call.
 	Cancelled func(*GenRequest) bool
 
+	// Gate, when non-nil, switches admission from worst-case token
+	// reservations to actual KV block consumption. Set before the first
+	// Admit call.
+	Gate *BlockGate
+
 	mu       sync.Mutex
 	queue    []*GenRequest
 	running  map[int64]*GenRequest
 	reserved map[int64]int // worst-case tokens reserved per running request
 	tokens   int           // Σ reserved
+	preempts int64
+}
+
+// BlockGate gates admission on a KV block pool's actual occupancy instead
+// of worst-case token math.
+type BlockGate struct {
+	// Free returns the pool's currently free block count.
+	Free func() int
+	// Need returns the blocks the request must be able to acquire to run
+	// its first decode step (not its worst case).
+	Need func(*GenRequest) int
+	// Watermark is the free-block floor admission must not dip below —
+	// headroom for the running set's own growth between iterations.
+	Watermark int
 }
 
 // NewContinuousScheduler builds a scheduler with the given limits.
@@ -116,6 +144,7 @@ func (s *ContinuousScheduler) Admit() []*GenRequest {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var admitted []*GenRequest
+	granted := 0 // blocks promised to requests admitted in THIS call
 	for len(s.queue) > 0 && len(s.running) < s.MaxBatch {
 		r := s.queue[0]
 		if s.Cancelled != nil && s.Cancelled(r) {
@@ -123,7 +152,19 @@ func (s *ContinuousScheduler) Admit() []*GenRequest {
 			continue
 		}
 		need := r.ReservedTokens()
-		if s.TokenBudget > 0 && len(s.running) > 0 && s.tokens+need > s.TokenBudget {
+		if s.Gate != nil {
+			// Block-consumption admission: the first running request always
+			// fits (the pool either carries it or preemption cannot help);
+			// after that, admit only while the pool covers the request's
+			// first step and stays above the watermark. Blocks are consumed
+			// at decode steps, not here, so Free() is constant within one
+			// call — `granted` charges this batch's own admissions.
+			bn := s.Gate.Need(r)
+			if len(s.running) > 0 && s.Gate.Free()-granted-bn < s.Gate.Watermark {
+				break
+			}
+			granted += bn
+		} else if s.TokenBudget > 0 && len(s.running) > 0 && s.tokens+need > s.TokenBudget {
 			break
 		}
 		s.queue = s.queue[1:]
@@ -147,6 +188,55 @@ func (s *ContinuousScheduler) Evict(id int64) {
 	s.tokens -= s.reserved[id]
 	delete(s.running, id)
 	delete(s.reserved, id)
+}
+
+// EnqueueFront re-queues a preempted request at the FRONT of its priority
+// class (ahead of equal-priority FCFS arrivals), so a victim of pool
+// pressure is first in line when blocks come free instead of starving
+// behind the backlog it was preempted for.
+func (s *ContinuousScheduler) EnqueueFront(r *GenRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Priority <= r.Priority })
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = r
+}
+
+// PreemptLowest removes and returns the most preemptible running request —
+// lowest Priority, ties broken by latest Arrival (the newcomer yields to
+// the long-running) — excluding the given ID (the request whose block
+// shortage triggered the preemption must not preempt itself). Returns nil
+// when no candidate exists. The caller owns the rest: free the victim's
+// session and EnqueueFront it for lossless recompute-on-readmit.
+func (s *ContinuousScheduler) PreemptLowest(exclude int64) *GenRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var victim *GenRequest
+	for id, r := range s.running {
+		if id == exclude {
+			continue
+		}
+		if victim == nil || r.Priority < victim.Priority ||
+			(r.Priority == victim.Priority && r.Arrival > victim.Arrival) {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	s.tokens -= s.reserved[victim.ID]
+	delete(s.running, victim.ID)
+	delete(s.reserved, victim.ID)
+	s.preempts++
+	return victim
+}
+
+// Preemptions returns the cumulative PreemptLowest count.
+func (s *ContinuousScheduler) Preemptions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.preempts
 }
 
 // RunningCount returns the current concurrent-sequence count.

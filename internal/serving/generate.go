@@ -39,11 +39,17 @@ type genEvent struct {
 	err  error
 }
 
-// liveGen pairs an admitted job with its decode session.
+// liveGen pairs an admitted job with its decode session. sent mirrors
+// job.emitted while the session lives: the index into Generated() up to
+// which tokens have been delivered — ahead of the session's own progress
+// right after a preempted job is readmitted (the regenerated prefix is
+// suppressed), behind it right after a prefix-cache replay (the replayed
+// tokens flush immediately).
 type liveGen struct {
 	id   int64
 	job  *Job
 	sess *model.GenSession
+	sent int
 }
 
 // genDispatcher is the continuous-batching generation path behind the
@@ -60,6 +66,12 @@ type genDispatcher struct {
 	sched         *sched.ContinuousScheduler
 	defaultMaxNew int
 
+	// Paged-KV mode: stepNeed is the worst-case block cost of one session's
+	// next decode row (a fresh K and V block on every layer) — the unit the
+	// admission gate, the scavenger, and the watermark all reason in.
+	paged    bool
+	stepNeed int
+
 	requests  atomic.Int64
 	tokensOut atomic.Int64
 	stepsRun  atomic.Int64
@@ -75,6 +87,19 @@ func newGenDispatcher(srv *Server, engine *core.GenEngine, maxBatch, tokenBudget
 		engine:        engine,
 		sched:         sched.NewContinuousScheduler(maxBatch, tokenBudget),
 		defaultMaxNew: defaultMaxNew,
+	}
+	if gen := engine.Generator; gen.Paged() {
+		d.paged = true
+		d.stepNeed = 2 * engine.DecCfg.Layers
+		pool := gen.BlockPool()
+		d.sched.Gate = &sched.BlockGate{
+			// Retired prefix KV is scavengeable on demand, so it counts as
+			// free for admission — the pre-step hook reclaims it before ever
+			// preempting live work.
+			Free:      func() int { return pool.FreeBlocks() + gen.PrefixStats().KVBlocks },
+			Need:      func(*sched.GenRequest) int { return d.stepNeed },
+			Watermark: d.stepNeed,
+		}
 	}
 	// The admission hook drops a queue-head job whose lifecycle ended while
 	// it waited — deadline passed or client gone — failing it (the events
@@ -97,6 +122,86 @@ func newGenDispatcher(srv *Server, engine *core.GenEngine, maxBatch, tokenBudget
 
 // Kind implements Dispatcher.
 func (d *genDispatcher) Kind() JobKind { return JobGenerate }
+
+// emit flushes every not-yet-delivered generated token to the job's stream:
+// freshly decoded tokens, a prefix-cache replay all at once, and nothing at
+// all while a readmitted session is still regenerating the prefix its
+// preempted predecessor already delivered.
+func (d *genDispatcher) emit(lg *liveGen) {
+	g := lg.sess.Generated()
+	for ; lg.sent < len(g); lg.sent++ {
+		lg.job.events <- genEvent{tok: g[lg.sent]}
+		d.tokensOut.Add(1)
+	}
+	lg.job.emitted = lg.sent
+}
+
+// finish closes out a completed generation: the session is retired — in
+// paged mode donated to the prefix cache so the next identical prompt
+// replays it — and the job's stream gets its terminal event.
+func (d *genDispatcher) finish(lg *liveGen) {
+	d.sched.Evict(lg.id)
+	d.engine.Retire(lg.sess)
+	lg.job.events <- genEvent{done: true}
+	d.srv.completions.Add(1)
+}
+
+// ensureCapacity is the paged-mode pre-step reservation hook: every live
+// session must be able to append its next KV row BEFORE the iteration runs,
+// so Step itself never fails mid-batch. A shortfall escalates in order —
+// scavenge retired prefix KV, then preempt the most preemptible batch-mate
+// (its session is freed and its job requeued at the front of its priority
+// class; greedy determinism makes the recompute lossless, and the emitted
+// counter keeps the stream from repeating). A session that cannot be
+// covered even with the whole pool to itself fails: the pool is undersized
+// for that request. Returns the surviving live set.
+func (d *genDispatcher) ensureCapacity(live []*liveGen) []*liveGen {
+	preempted := map[int64]bool{}
+	failed := map[int64]bool{}
+	for _, lg := range live {
+		if preempted[lg.id] {
+			continue
+		}
+		for !lg.sess.EnsureAppendable() {
+			if d.engine.Generator.ScavengePrefix(d.stepNeed) > 0 {
+				continue
+			}
+			v := d.sched.PreemptLowest(lg.id)
+			if v == nil {
+				failed[lg.id] = true
+				break
+			}
+			for _, cand := range live {
+				if cand.id == v.ID {
+					v.Payload.(*Job).emitted = cand.sent
+					cand.sess.Close() // frees its blocks for lg
+					break
+				}
+			}
+			preempted[v.ID] = true
+			d.sched.EnqueueFront(v)
+		}
+	}
+	if len(preempted)+len(failed) == 0 {
+		return live
+	}
+	kept := live[:0]
+	for _, lg := range live {
+		switch {
+		case preempted[lg.id]:
+			// Session already closed, job requeued — NOT failed: it will be
+			// readmitted, recomputed, and resume its stream where it stopped.
+		case failed[lg.id]:
+			d.sched.Evict(lg.id)
+			lg.sess.Close()
+			lg.job.fail(model.ErrKVPoolExhausted)
+			d.srv.completions.Add(1)
+		default:
+			kept = append(kept, lg)
+		}
+	}
+	return kept
+}
 
 // Run implements Dispatcher: the continuous-batching decode loop. Each
 // turn: pull newly admitted jobs from the shared queue, evict sessions
@@ -197,7 +302,15 @@ func (d *genDispatcher) Run(q *Queue) {
 			} else {
 				for i, j := range admitted {
 					sessions[i].Bind(j.Context())
-					live = append(live, &liveGen{id: ids[i], job: j, sess: sessions[i]})
+					lg := &liveGen{id: ids[i], job: j, sess: sessions[i], sent: j.emitted}
+					// A prefix-cache replay delivers its cached tokens right
+					// here; a full-answer hit is born done and never decodes.
+					d.emit(lg)
+					if lg.sess.Done() {
+						d.finish(lg)
+						continue
+					}
+					live = append(live, lg)
 				}
 			}
 		}
@@ -205,13 +318,21 @@ func (d *genDispatcher) Run(q *Queue) {
 			continue
 		}
 
+		// Paged mode: reserve every session's next KV row before stepping
+		// (scavenging or preempting on shortfall), so Step never fails
+		// mid-batch on an exhausted pool.
+		if d.paged {
+			if live = d.ensureCapacity(live); len(live) == 0 {
+				continue
+			}
+		}
+
 		// One decode iteration over the ragged batch.
 		sessions := make([]*model.GenSession, len(live))
 		for i, lg := range live {
 			sessions[i] = lg.sess
 		}
-		toks, err := d.engine.Step(sessions)
-		if err != nil {
+		if _, err := d.engine.Step(sessions); err != nil {
 			for _, lg := range live {
 				d.sched.Evict(lg.id)
 				lg.sess.Close()
@@ -222,7 +343,6 @@ func (d *genDispatcher) Run(q *Queue) {
 			continue
 		}
 		d.stepsRun.Add(1)
-		d.tokensOut.Add(int64(len(live)))
 		for prev := d.peakBatch.Load(); int64(len(live)) > prev; prev = d.peakBatch.Load() {
 			if d.peakBatch.CompareAndSwap(prev, int64(len(live))) {
 				break
@@ -230,13 +350,10 @@ func (d *genDispatcher) Run(q *Queue) {
 		}
 
 		alive := live[:0]
-		for i, lg := range live {
-			lg.job.events <- genEvent{tok: toks[i]}
+		for _, lg := range live {
+			d.emit(lg)
 			if lg.sess.Done() {
-				d.sched.Evict(lg.id)
-				lg.sess.Close()
-				lg.job.events <- genEvent{done: true}
-				d.srv.completions.Add(1)
+				d.finish(lg)
 				continue
 			}
 			alive = append(alive, lg)

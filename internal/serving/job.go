@@ -63,6 +63,12 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// emitted counts stream tokens already delivered on events — carried on
+	// the job (not the live session) so a preempted-and-readmitted
+	// generation regenerates its prefix without re-emitting it. Touched only
+	// by the generate dispatcher goroutine.
+	emitted int
+
 	// result delivers the classify outcome (buffered, capacity 1).
 	result chan jobResult
 	// events delivers the generation stream (buffered for the full token

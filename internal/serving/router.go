@@ -244,6 +244,13 @@ func aggregateStats(parts []statsResponse) statsResponse {
 		agg.GenReservedTokens += p.GenReservedTokens
 		agg.GenKVReservedBytes += p.GenKVReservedBytes
 		agg.GenKVUsedBytes += p.GenKVUsedBytes
+		agg.KVBlocksTotal += p.KVBlocksTotal
+		agg.KVBlocksUsed += p.KVBlocksUsed
+		agg.KVBlocksShared += p.KVBlocksShared
+		agg.PrefixHits += p.PrefixHits
+		agg.PrefixMisses += p.PrefixMisses
+		agg.ReplayTokens += p.ReplayTokens
+		agg.GenPreemptions += p.GenPreemptions
 	}
 	if t := agg.TokensProcessed + agg.TokensPadded; t > 0 {
 		agg.PaddingWaste = float64(agg.TokensPadded) / float64(t)

@@ -560,6 +560,18 @@ type statsResponse struct {
 	GenReservedTokens  int64 `json:"gen_reserved_tokens"`
 	GenKVReservedBytes int64 `json:"gen_kv_reserved_bytes"`
 	GenKVUsedBytes     int64 `json:"gen_kv_used_bytes"`
+
+	// Paged-KV accounting (zero unless the engine runs paged): block-pool
+	// occupancy, prefix-cache reuse, and preemptions — the shared-prefix
+	// admission-density win made visible. KVBlocksShared counts blocks
+	// mapped by two or more block tables at once.
+	KVBlocksTotal  int64 `json:"kv_blocks_total"`
+	KVBlocksUsed   int64 `json:"kv_blocks_used"`
+	KVBlocksShared int64 `json:"kv_blocks_shared"`
+	PrefixHits     int64 `json:"prefix_hits"`
+	PrefixMisses   int64 `json:"prefix_misses"`
+	ReplayTokens   int64 `json:"prefix_replay_tokens"`
+	GenPreemptions int64 `json:"gen_preemptions"`
 }
 
 // Handler returns the HTTP mux for the service.
@@ -677,6 +689,17 @@ func (s *Server) statsSnapshot() statsResponse {
 		mem := s.gen.engine.MemoryStats()
 		resp.GenKVReservedBytes = mem.KVReservedBytes
 		resp.GenKVUsedBytes = mem.KVUsedBytes
+		if gen := s.gen.engine.Generator; gen.Paged() {
+			ps := gen.BlockPool().Stats()
+			resp.KVBlocksTotal = int64(ps.CapBlocks)
+			resp.KVBlocksUsed = int64(ps.UsedBlocks)
+			resp.KVBlocksShared = int64(ps.SharedBlocks)
+			pf := gen.PrefixStats()
+			resp.PrefixHits = pf.Hits
+			resp.PrefixMisses = pf.Misses
+			resp.ReplayTokens = pf.ReplayToks
+			resp.GenPreemptions = s.gen.sched.Preemptions()
+		}
 	}
 	return resp
 }

@@ -77,6 +77,28 @@ func WithGeneration(decCfg Config) Option {
 	return func(c *runtimeConfig) { c.genDecCfg = &decCfg }
 }
 
+// WithPagedKV pages the generation path's KV cache through a fixed-size
+// block pool (blocks = pool capacity; 0 derives a default from the decoder
+// geometry): admission gates on actual block consumption instead of
+// worst-case token reservations, pool pressure preempts the lowest-priority
+// running generation (losslessly — it is requeued and recomputed), and
+// retired generations are prefix-cached so identical prompts replay —
+// encoder pass skipped, tokens served from cache, block tables shared
+// copy-on-write. A NewRuntime option (it shapes the engine).
+func WithPagedKV(blocks int) Option {
+	return func(c *runtimeConfig) {
+		c.engine.PagedKV = true
+		c.engine.PagedKVBlocks = blocks
+	}
+}
+
+// WithPrefixCache caps how many retired generations the paged-KV prefix
+// cache keeps for prompt-identical reuse (default 64). Only meaningful with
+// WithPagedKV.
+func WithPrefixCache(entries int) Option {
+	return func(c *runtimeConfig) { c.engine.PrefixEntries = entries }
+}
+
 // WithGenMaxBatch caps concurrent decode sequences (default: the classify
 // max batch).
 func WithGenMaxBatch(n int) Option { return func(c *runtimeConfig) { c.genMaxBatch = n } }
