@@ -47,6 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "weight seed")
 	costFile := flag.String("cost-file", "", "persist/reload the warm-up cost dictionary (§5: stored on disk, reloaded on restart)")
 	batchWindow := flag.Duration("batch-window", 0, "lazy-strategy accumulation window (0 = hungry strategy)")
+	fp16 := flag.Bool("fp16", false, "run the binary16 fast path: fp16-storage GEMMs, half-size KV cache, fused launch chains (fp32 stays the default)")
 	packed := flag.Bool("packed", false, "run the zero-padding (packed) engine: ragged batches, no padding FLOPs, token-based batch scheduling")
 	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue depth per replica (submissions beyond it get 429)")
 	replicas := flag.Int("replicas", 1, "independent serving replicas behind the routed front door (1 = single server, no router)")
@@ -84,6 +85,9 @@ func main() {
 	}
 	if *packed {
 		opts = append(opts, turbo.WithPacked())
+	}
+	if *fp16 {
+		opts = append(opts, turbo.WithFP16())
 	}
 	if *generate {
 		decCfg := turbo.Seq2SeqDecoder().Scaled(*hidden, *heads, 4**hidden, *layers)
@@ -192,6 +196,9 @@ func main() {
 		kv := "contiguous KV"
 		if *genPaged {
 			kv = "paged KV + prefix cache"
+		}
+		if *fp16 {
+			kv = "binary16 " + kv
 		}
 		log.Printf("generation enabled: decoder %d layers, hidden %d, max batch %d, %s decode attention, batched packed prefill, %s",
 			*layers, *hidden, *genMaxBatch, attn, kv)

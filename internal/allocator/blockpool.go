@@ -53,6 +53,11 @@ type Block struct {
 // Data returns the block's backing floats (blockBytes/4 of them).
 func (b *Block) Data() []float32 { return b.buf.Data() }
 
+// DataU16 returns the block's backing storage viewed as binary16 elements
+// (blockBytes/2 of them). A pool serves one generator with a fixed precision
+// mode, so blocks are only ever accessed through one of the two views.
+func (b *Block) DataU16() []uint16 { return b.buf.DataU16() }
+
 // Shared reports whether more than one holder maps this block — the
 // copy-on-write trigger.
 func (b *Block) Shared() bool {

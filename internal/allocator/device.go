@@ -26,10 +26,11 @@ import (
 // footprint experiments over hundreds of MB cost nothing, while the
 // executor can still write real floats into planner-assigned regions.
 type Buffer struct {
-	Size int64
-	dev  *Device
-	data []float32
-	free bool
+	Size  int64
+	dev   *Device
+	data  []float32
+	datah []uint16
+	free  bool
 }
 
 // Data materialises and returns the buffer's backing storage (Size/4 floats).
@@ -41,6 +42,20 @@ func (b *Buffer) Data() []float32 {
 		b.data = make([]float32, (b.Size+3)/4)
 	}
 	return b.data
+}
+
+// DataU16 materialises and returns the buffer's backing storage viewed as
+// binary16 elements (Size/2 halves). A buffer is either an fp32 or an fp16
+// buffer for its whole lifetime — the fp16 KV caches call only DataU16, the
+// fp32 paths only Data — so the two views are never mixed.
+func (b *Buffer) DataU16() []uint16 {
+	if b.free {
+		panic("allocator: use after free")
+	}
+	if b.datah == nil {
+		b.datah = make([]uint16, (b.Size+1)/2)
+	}
+	return b.datah
 }
 
 // Device tracks simulated device-memory state: live/peak bytes and
@@ -96,6 +111,7 @@ func (d *Device) Free(b *Buffer) {
 	}
 	b.free = true
 	b.data = nil
+	b.datah = nil
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.live -= b.Size

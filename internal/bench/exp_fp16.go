@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/allocator"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fp16-path",
+		Title: "FP16 fast path: tensor-core-priced decode speedup, halved KV bytes/token, fused launch chains, tolerance vs fp32",
+		Paper: "§6.2.1/Table 4: Turbo-TC's FP16 tensor-core GEMMs with 'minimal and acceptable precision loss'; the KV halving and launch-chain fusion are the serving-side corollary",
+		Run:   runFP16Path,
+	})
+}
+
+// fp16PathParams sizes the experiment; the smoke test runs a tiny variant.
+type fp16PathParams struct {
+	gen       genDecodeParams // decode loop geometry (shared with gen-decode)
+	tolBatch  int             // ragged batch size for the encoder tolerance sweep
+	tolTrials int
+}
+
+func defaultFP16PathParams() fp16PathParams {
+	return fp16PathParams{gen: defaultGenDecodeParams(), tolBatch: 4, tolTrials: 4}
+}
+
+// fp16DecodeMeasure runs the constant-occupancy decode loop under fp32 and
+// fp16 engine options with their timed reps interleaved (fp32, fp16,
+// fp32, …) so host noise hits both alike; returns best-of-reps per-token
+// seconds for each, plus the fp16 engine's fused-launch count.
+func fp16DecodeMeasure(p genDecodeParams, batch int) (fp32Tok, fp16Tok float64, fused int64, err error) {
+	m32, err := newGenDecodeModeOpts(p, batch, core.Options{Seed: 17})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer m32.close()
+	m16, err := newGenDecodeModeOpts(p, batch, core.Options{Seed: 17, FP16: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer m16.close()
+	for i := 0; i < p.warm; i++ {
+		if err := m32.step(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := m16.step(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	timeReps := func(m *genDecodeMode) (float64, error) {
+		start := time.Now()
+		for i := 0; i < p.steps; i++ {
+			if err := m.step(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	var best32, best16 float64
+	for r := 0; r < p.reps; r++ {
+		s32, err := timeReps(m32)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		s16, err := timeReps(m16)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if r == 0 || s32 < best32 {
+			best32 = s32
+		}
+		if r == 0 || s16 < best16 {
+			best16 = s16
+		}
+	}
+	perTok := float64(p.steps * batch)
+	return best32 / perTok, best16 / perTok, m16.engine.FusedLaunches(), nil
+}
+
+// fp16ModeledStep prices one batched decode step on the device model: every
+// GEMM the step executes (per-session projections run batched, attention
+// runs as batch·heads grouped single-query problems), the attention
+// reductions, and the per-kernel launches. It returns the summed GEMM
+// kernel-body time (launch overhead excluded — the quantity the tensor-core
+// claim is about) and the launch-inclusive step total. Under the fp16
+// profile the fused launch chains collapse each attention core's three
+// launches (scores GEMM, softmax, PV GEMM) into one, so the fp16 total is
+// priced with 2 fewer launches per attention core.
+func fp16ModeledStep(est *perf.Estimator, p perf.Profile, cfg model.Config, batch, selfT, srcLen int, chains bool) (gemmBody, total time.Duration) {
+	h, heads, hd, inter := cfg.Hidden, cfg.Heads, cfg.HeadDim(), cfg.Inter
+	launch := p.LaunchOverhead
+	var bodies, reductions time.Duration
+	launches := 0
+	gemm := func(batchCount, m, n, k int) {
+		bodies += est.GemmTime(p, batchCount, m, n, k) - launch
+		launches++
+	}
+	softmax := func(rows, cols int) {
+		reductions += est.SoftmaxTime(p, rows, cols) - launch
+		launches++
+	}
+	layernorm := func(rows, cols int) {
+		reductions += est.LayerNormTime(p, rows, cols) - launch
+		launches++
+	}
+	attention := func(T int) {
+		gemm(batch*heads, 1, T, hd)
+		softmax(batch*heads, T)
+		gemm(batch*heads, 1, hd, T)
+		if chains {
+			launches -= 2 // qk_scaled_softmax + pv fused into one launch
+		}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		// Self-attention: Q/K/V/output projections plus the grouped
+		// single-query attention over the (fp16: binary16) KV cache.
+		gemm(1, batch, h, h)
+		gemm(1, batch, h, h)
+		gemm(1, batch, h, h)
+		attention(selfT)
+		gemm(1, batch, h, h)
+		layernorm(batch, h)
+		// Cross-attention against the precomputed prompt memory.
+		gemm(1, batch, h, h)
+		attention(srcLen)
+		gemm(1, batch, h, h)
+		layernorm(batch, h)
+		// Feed-forward.
+		gemm(1, batch, inter, h)
+		gemm(1, batch, h, inter)
+		layernorm(batch, h)
+	}
+	gemm(1, batch, cfg.Vocab, h)
+	return gemmBody + bodies, bodies + reductions + time.Duration(launches)*launch
+}
+
+func runFP16Path(w io.Writer) error {
+	return runFP16PathWith(w, defaultFP16PathParams())
+}
+
+func runFP16PathWith(w io.Writer, fp fp16PathParams) error {
+	p := fp.gen
+	_, decCfg := genDecodeConfigs(p)
+	est := perf.NewEstimator(perf.RTX2060())
+	pro32, pro16 := perf.Turbo(), perf.TurboTC()
+
+	// --- 1. Decode per-token cost: measured CPU loop + device model -----
+	fmt.Fprintf(w, "decoder %s (hidden %d, %d layers, vocab %d), prompts %d–%d tokens, %d timed steps (best of %d):\n",
+		decCfg.Name, decCfg.Hidden, decCfg.Layers, decCfg.Vocab, p.promptLo, p.promptHi, p.steps, p.reps)
+	avgPrompt := (p.promptLo + p.promptHi) / 2
+	selfT := avgPrompt + p.warm + p.steps/2 // representative decode depth
+	fmt.Fprintf(w, "device model: RTX 2060, GEMM bodies priced at context %d, source %d (launches listed separately)\n",
+		selfT, avgPrompt)
+
+	t := newTable(w)
+	t.row("batch", "cpu fp32 µs/tok", "cpu fp16 µs/tok", "cpu ratio",
+		"gemm fp32 µs/tok", "gemm fp16 µs/tok", "gemm speedup", "step speedup")
+	us := func(s float64) string { return fmt.Sprintf("%.1f", s*1e6) }
+	usd := func(d time.Duration, batch int) string {
+		return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3/float64(batch))
+	}
+	var gemmGate float64
+	gateBatch := 0
+	var lastFused int64
+	for _, b := range p.batches {
+		cpu32, cpu16, fused, err := fp16DecodeMeasure(p, b)
+		if err != nil {
+			return err
+		}
+		lastFused = fused
+		g32, s32 := fp16ModeledStep(est, pro32, decCfg, b, selfT, avgPrompt, false)
+		g16, s16 := fp16ModeledStep(est, pro16, decCfg, b, selfT, avgPrompt, true)
+		gemmSpeed := float64(g32) / float64(g16)
+		if b >= 4 && (gateBatch == 0 || gemmSpeed < gemmGate) {
+			gateBatch, gemmGate = b, gemmSpeed
+		}
+		t.row(b, us(cpu32), us(cpu16), fmt.Sprintf("%.2fx", cpu32/cpu16),
+			usd(g32, b), usd(g16, b), fmt.Sprintf("%.2fx", gemmSpeed),
+			fmt.Sprintf("%.2fx", float64(s32)/float64(s16)))
+		RecordMetric("fp16-path", fmt.Sprintf("decode/cpu_us_per_tok_fp32/b%d", b), cpu32*1e6)
+		RecordMetric("fp16-path", fmt.Sprintf("decode/cpu_us_per_tok_fp16/b%d", b), cpu16*1e6)
+		RecordMetric("fp16-path", fmt.Sprintf("decode/modeled_gemm_speedup/b%d", b), gemmSpeed)
+		RecordMetric("fp16-path", fmt.Sprintf("decode/modeled_step_speedup/b%d", b), float64(s32)/float64(s16))
+	}
+	t.flush()
+	fmt.Fprintln(w, "(cpu columns are the pure-Go emulation — fp16 pays software encode/decode there;")
+	fmt.Fprintln(w, " the gemm columns are the tensor-core device model the fp16 claim is priced on)")
+
+	gateStatus := "PASS"
+	if gateBatch == 0 || gemmGate < 1.999 {
+		gateStatus = "FAIL"
+	}
+	fmt.Fprintf(w, "\nmodeled GEMM speedup at batch ≥4: %.2fx (worst case, batch %d; target ≥2x): → %s\n",
+		gemmGate, gateBatch, gateStatus)
+	RecordMetric("fp16-path", "decode/modeled_gemm_speedup_gate", gemmGate)
+
+	// --- 2. Oracle: fp16 grouped vs per-row token streams ---------------
+	bigBatch := p.batches[len(p.batches)-1]
+	mg, err := newGenDecodeModeOpts(p, bigBatch, core.Options{Seed: 17, FP16: true})
+	if err != nil {
+		return err
+	}
+	defer mg.close()
+	mo, err := newGenDecodeModeOpts(p, bigBatch, core.Options{Seed: 17, FP16: true, PerRowDecode: true})
+	if err != nil {
+		return err
+	}
+	defer mo.close()
+	for i := 0; i < p.warm+p.steps; i++ {
+		if err := mg.step(); err != nil {
+			return err
+		}
+		if err := mo.step(); err != nil {
+			return err
+		}
+	}
+	oracle := "bit-identical"
+	if len(mg.stream) != len(mo.stream) {
+		oracle = "DIVERGED (stream lengths differ)"
+	} else {
+		for i := range mg.stream {
+			if mg.stream[i] != mo.stream[i] {
+				oracle = fmt.Sprintf("DIVERGED at token %d", i)
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "fp16 grouped vs per-row oracle at batch %d: %s\n", bigBatch, oracle)
+
+	// --- 3. KV accounting: bytes/token halved, block capacity doubled ---
+	encCfg, _ := genDecodeConfigs(p)
+	kvBytes := func(fp16 bool) (int64, error) {
+		e, err := core.NewGenEngine(encCfg, decCfg, core.Options{Seed: 17, FP16: fp16})
+		if err != nil {
+			return 0, err
+		}
+		defer e.Close()
+		return e.KVBytesPerToken(), nil
+	}
+	kv32, err := kvBytes(false)
+	if err != nil {
+		return err
+	}
+	kv16, err := kvBytes(true)
+	if err != nil {
+		return err
+	}
+	halved := "PASS"
+	if kv16*2 != kv32 {
+		halved = "FAIL"
+	}
+	fmt.Fprintf(w, "\nKV bytes/token: fp32 %d, fp16 %d (exactly halved): → %s\n", kv32, kv16, halved)
+	RecordMetric("fp16-path", "kv/bytes_per_token_fp32", float64(kv32))
+	RecordMetric("fp16-path", "kv/bytes_per_token_fp16", float64(kv16))
+
+	// Block-pool capacity: at a decode depth spanning two fp32 blocks the
+	// same pool must admit twice the fp16 sessions (each fp16 table packs
+	// 2× tokens per block).
+	dev := allocator.NewDevice()
+	blockBytes := int64(model.KVChunkTokens) * int64(decCfg.Hidden) * 4
+	depth := 2 * model.KVChunkTokens
+	capBlocks := 4 * 2 * decCfg.Layers * 2 // room for 4 fp32 sessions at this depth
+	countSessions := func(mk func(*allocator.BlockPool, int, int) (*model.BlockKVCache, error)) (n, blockTok int, err error) {
+		pool := allocator.NewBlockPool(dev, blockBytes, capBlocks)
+		defer pool.Close()
+		var caches []*model.BlockKVCache
+		defer func() {
+			for _, c := range caches {
+				c.Free()
+			}
+		}()
+		row := make([]float32, decCfg.Hidden)
+		for {
+			c, err := mk(pool, decCfg.Layers, decCfg.Hidden)
+			if err != nil {
+				return 0, 0, err
+			}
+			blockTok = c.BlockTokens()
+			full := true
+			for tok := 0; tok < depth; tok++ {
+				if !c.EnsureAppendable() {
+					full = false
+					break
+				}
+				for l := 0; l < decCfg.Layers; l++ {
+					c.AppendRow(l, row, row)
+				}
+				c.Advance()
+			}
+			if !full {
+				c.Free()
+				return n, blockTok, nil
+			}
+			caches = append(caches, c)
+			n++
+		}
+	}
+	n32, tok32, err := countSessions(model.NewBlockKVCache)
+	if err != nil {
+		return err
+	}
+	n16, tok16, err := countSessions(model.NewBlockKVCacheF16)
+	if err != nil {
+		return err
+	}
+	capStatus := "PASS"
+	if n16 != 2*n32 || tok16 != 2*tok32 {
+		capStatus = "FAIL"
+	}
+	fmt.Fprintf(w, "paged-KV capacity at depth %d (pool %d blocks): fp32 %d sessions (%d tok/block), fp16 %d sessions (%d tok/block): → %s\n",
+		depth, capBlocks, n32, tok32, n16, tok16, capStatus)
+	RecordMetric("fp16-path", "kv/sessions_fp32", float64(n32))
+	RecordMetric("fp16-path", "kv/sessions_fp16", float64(n16))
+
+	// --- 4. Encoder fused chains: predicted vs measured ------------------
+	lcfg := graph.LayerConfig{Hidden: encCfg.Hidden, Heads: encCfg.Heads, Inter: encCfg.Inter}
+	fusedOps := graph.NewEncoderLayerFused(lcfg).NumOps()
+	chainOps := graph.NewEncoderLayerFusedChains(lcfg).NumOps()
+	saved := fusedOps - chainOps
+	lens := make([]int, fp.tolBatch)
+	rng := rand.New(rand.NewSource(41))
+	for i := range lens {
+		lens[i] = p.promptLo + rng.Intn(p.promptHi-p.promptLo+1)
+	}
+	smPacked := est.SoftmaxPackedTime(pro32, lens, encCfg.Heads)
+	lnPacked := est.LayerNormPackedTime(pro32, lens, encCfg.Hidden)
+	predicted := time.Duration(saved)*pro32.LaunchOverhead*time.Duration(encCfg.Layers) +
+		time.Duration(encCfg.Layers)*(smPacked+lnPacked)
+	fmt.Fprintf(w, "\nfused launch chains: %d → %d ops/layer (%d launches fused away per layer)\n", fusedOps, chainOps, saved)
+	fmt.Fprintf(w, "predicted chain budget on lens %v: %d layers × (%d×%v launch + %v packed softmax + %v packed layernorm) = %v\n",
+		lens, encCfg.Layers, saved, pro32.LaunchOverhead, smPacked, lnPacked, predicted)
+
+	e32, err := core.NewEngine(encCfg, core.Options{Seed: 17, Packed: true})
+	if err != nil {
+		return err
+	}
+	e16, err := core.NewEngine(encCfg, core.Options{Seed: 17, Packed: true, FP16: true})
+	if err != nil {
+		return err
+	}
+	maxRel := 0.0
+	for trial := 0; trial < fp.tolTrials; trial++ {
+		toks := make([][]int, len(lens))
+		for i, n := range lens {
+			row := make([]int, n)
+			for j := range row {
+				row[j] = 3 + rng.Intn(encCfg.Vocab-3)
+			}
+			toks[i] = row
+		}
+		ref, err := e32.EncodePacked(toks)
+		if err != nil {
+			return err
+		}
+		got, err := e16.EncodePacked(toks)
+		if err != nil {
+			return err
+		}
+		// Post-LayerNorm rows have unit RMS, so error is taken relative
+		// to that scale (|r|+1): the documented bound is on the unit
+		// activation scale, not on near-zero elements individually.
+		r, o := ref.Data().Data(), got.Data().Data()
+		for i := range o {
+			rel := math.Abs(float64(o[i])-float64(r[i])) / (math.Abs(float64(r[i])) + 1)
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	measured := e16.FusedLaunches()
+	chainStatus := "PASS"
+	if !e16.FP16Enabled() || measured == 0 || lastFused == 0 {
+		chainStatus = "FAIL"
+	}
+	fmt.Fprintf(w, "measured fused launches: encoder %d over %d packed runs, decode loop %d (both must be >0): → %s\n",
+		measured, fp.tolTrials, lastFused, chainStatus)
+	RecordMetric("fp16-path", "chains/encoder_fused_launches", float64(measured))
+	RecordMetric("fp16-path", "chains/decode_fused_launches", float64(lastFused))
+
+	// --- 5. Tolerance vs fp32 --------------------------------------------
+	tolStatus := "PASS"
+	if maxRel > 2e-2 || maxRel == 0 {
+		tolStatus = "FAIL"
+	}
+	fmt.Fprintf(w, "\nencoder tolerance on fuzzed ragged traffic: max relative error %.3e (documented bound 2e-2, must be >0): → %s\n",
+		maxRel, tolStatus)
+	RecordMetric("fp16-path", "tolerance/encoder_max_rel", maxRel)
+	return nil
+}

@@ -63,8 +63,15 @@ type genDecodeMode struct {
 }
 
 func newGenDecodeMode(p genDecodeParams, batch int, perRow bool) (*genDecodeMode, error) {
+	return newGenDecodeModeOpts(p, batch, core.Options{Seed: 17, PerRowDecode: perRow})
+}
+
+// newGenDecodeModeOpts is the generalised constructor: the fp16-path
+// experiment reuses the same constant-occupancy decode loop under
+// different engine options (FP16 on/off, per-row oracle).
+func newGenDecodeModeOpts(p genDecodeParams, batch int, opts core.Options) (*genDecodeMode, error) {
 	encCfg, decCfg := genDecodeConfigs(p)
-	engine, err := core.NewGenEngine(encCfg, decCfg, core.Options{Seed: 17, PerRowDecode: perRow})
+	engine, err := core.NewGenEngine(encCfg, decCfg, opts)
 	if err != nil {
 		return nil, err
 	}

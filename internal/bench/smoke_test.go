@@ -83,6 +83,34 @@ func TestBenchSmoke(t *testing.T) {
 		t.Fatalf("paged path diverged from the greedy oracle:\n%s", out)
 	}
 
+	// Wiring guard for the fp16 fast path: a tiny geometry must run the
+	// measured decode loop, the device-model pricing, the KV-halving and
+	// block-capacity accounting, the fused-chain counters, and the encoder
+	// tolerance sweep end to end, with every verdict green (the full-size
+	// run only changes the measured magnitudes, not the exact accounting
+	// the gates check).
+	buf.Reset()
+	tinyFP16 := fp16PathParams{
+		gen: genDecodeParams{
+			hidden: 16, heads: 2, inter: 32, layers: 1, vocab: 32,
+			promptLo: 2, promptHi: 8, warm: 2, steps: 4, reps: 1,
+			batches: []int{1, 4},
+		},
+		tolBatch: 3, tolTrials: 2,
+	}
+	if err := runFP16PathWith(&buf, tinyFP16); err != nil {
+		t.Fatalf("fp16-path (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"gemm speedup", "KV bytes/token", "paged-KV capacity", "fused launch", "tolerance", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fp16-path output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "DIVERGED") {
+		t.Fatalf("fp16-path (tiny) verdict failed:\n%s", out)
+	}
+
 	// Wiring guard for the replica-routing harness: a tiny 2-replica run
 	// must exercise the live router under every policy, the single-replica
 	// overhead guard, and the cluster-simulator shape check end to end
@@ -166,6 +194,26 @@ func TestGenDecodeExperiment(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("gen-decode verdict failed:\n%s", out)
+	}
+}
+
+// TestFP16PathExperiment runs the full-size fp16 artefact (skipped in
+// -short CI where TestBenchSmoke covers the wiring) and enforces the PR-7
+// acceptance claims: modeled GEMM speedup ≥2× at batch ≥4 on the decode
+// loop, KV bytes/token exactly halved with block capacity doubled, fused
+// launch chains firing on both the packed encoder and the grouped decode,
+// the grouped fp16 path bit-identical to its per-row oracle, and fp16
+// outputs within the documented tolerance of fp32 (but not bit-equal).
+func TestFP16PathExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "fp16-path")
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("fp16 grouped decode diverged from the per-row oracle:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("fp16-path verdict failed:\n%s", out)
 	}
 }
 

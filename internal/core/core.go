@@ -56,6 +56,13 @@ type Options struct {
 	// with FP32 accumulation (§6.2.1's "minimal and acceptable precision
 	// loss").
 	TensorCore bool
+	// FP16 enables the binary16 fast path end-to-end: fp16-storage GEMMs
+	// with fp32 accumulation (bit-identical to TensorCore's numerics, with
+	// real binary16 weight/KV storage), binary16 KV caches at half the bytes
+	// per token, and — on the fused encoder — the fused launch chains
+	// (qk_scaled_softmax, pv_transpose_back). The fp32 route stays the
+	// default and remains selectable for comparisons.
+	FP16 bool
 	// Packed selects the zero-padding execution path: mixed-length batches
 	// run as ragged [totalTokens, hidden] blocks with per-request attention,
 	// so no FLOP is ever spent on a padding row and no mask exists. The
@@ -92,6 +99,7 @@ type Engine struct {
 
 	dev    *allocator.Device
 	packed bool
+	fp16   bool
 
 	// Padding-waste accounting: rows of real work vs rows a padded
 	// execution added on top (zero when the packed path runs — padding
@@ -110,6 +118,13 @@ func (e *Engine) TokenCounters() (processed, padded, packedBatches int64) {
 
 // PackedEnabled reports whether the engine runs the zero-padding path.
 func (e *Engine) PackedEnabled() bool { return e.packed }
+
+// FP16Enabled reports whether the engine runs the binary16 fast path.
+func (e *Engine) FP16Enabled() bool { return e.fp16 }
+
+// FusedLaunches returns the cumulative fused-chain kernel launches the
+// encoder stack has dispatched (0 off the fused-chain graph).
+func (e *Engine) FusedLaunches() int64 { return e.Encoder.FusedLaunches() }
 
 // countBatch updates the token counters for one executed batch; packedRun
 // says which path actually ran it.
@@ -139,12 +154,9 @@ func NewEngine(cfg model.Config, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc, err := model.NewEncoder(cfg, opts.Seed, alloc, !opts.Unfused)
+	enc, err := newEncoderForOpts(cfg, opts, alloc)
 	if err != nil {
 		return nil, err
-	}
-	if opts.TensorCore {
-		enc.EnableTensorCoreEmulation()
 	}
 	e := &Engine{
 		Cfg:       cfg,
@@ -152,11 +164,37 @@ func NewEngine(cfg model.Config, opts Options) (*Engine, error) {
 		Encoder:   enc,
 		dev:       dev,
 		packed:    opts.Packed,
+		fp16:      opts.FP16,
 	}
 	if opts.Classes > 0 {
 		e.Classifier = model.NewClassifier(cfg.Hidden, opts.Classes, opts.Seed+900)
 	}
 	return e, nil
+}
+
+// newEncoderForOpts builds the encoder stack the options ask for: the
+// fused-chain graph under FP16 (two launches fewer per layer; Unfused still
+// wins for comparisons), otherwise fused/unfused per Options.Unfused, with
+// the numeric route (fp16 fast path or legacy tensor-core emulation)
+// enabled on every layer.
+func newEncoderForOpts(cfg model.Config, opts Options, alloc allocator.Allocator) (*model.Encoder, error) {
+	var enc *model.Encoder
+	var err error
+	if opts.FP16 && !opts.Unfused {
+		enc, err = model.NewEncoderFusedChains(cfg, opts.Seed, alloc)
+	} else {
+		enc, err = model.NewEncoder(cfg, opts.Seed, alloc, !opts.Unfused)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case opts.FP16:
+		enc.EnableFP16()
+	case opts.TensorCore:
+		enc.EnableTensorCoreEmulation()
+	}
+	return enc, nil
 }
 
 // Encode embeds and encodes a batch of token sequences, returning the final

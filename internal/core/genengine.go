@@ -52,7 +52,7 @@ func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := model.NewEncoder(encCfg, opts.Seed, alloc, !opts.Unfused)
+	enc, err := newEncoderForOpts(encCfg, opts, alloc)
 	if err != nil {
 		return nil, err
 	}
@@ -61,11 +61,17 @@ func NewGenEngine(encCfg, decCfg model.Config, opts Options) (*GenEngine, error)
 		return nil, err
 	}
 	gen.PerRowAttention = opts.PerRowDecode
+	if opts.FP16 {
+		gen.EnableFP16()
+	}
 	if opts.PagedKV {
 		// One block = KVChunkTokens rows of one layer's K or V; a session's
 		// worst case is its full budget across every layer's K and V. The
 		// default pool carries 8 such worst-case tables — the admission gate
-		// and preemption handle running past it.
+		// and preemption handle running past it. The block size is fixed at
+		// the fp32 geometry: under FP16 the same blocks pack twice the
+		// tokens (BlockTokens doubles), so the pool admits ~2× the sessions
+		// instead of shrinking.
 		blockBytes := int64(model.KVChunkTokens) * int64(decCfg.Hidden) * 4
 		capBlocks := opts.PagedKVBlocks
 		if capBlocks <= 0 {
@@ -233,6 +239,19 @@ func (e *GenEngine) Close() {
 func (e *GenEngine) PrefillCounters() (prompts, passes, tokens int64) {
 	return e.prefillPrompts.Load(), e.prefillPasses.Load(), e.prefillTokens.Load()
 }
+
+// FP16Enabled reports whether the engine runs the binary16 fast path.
+func (e *GenEngine) FP16Enabled() bool { return e.Generator.FP16Enabled() }
+
+// FusedLaunches returns the cumulative fused kernel-chain launches across
+// the prefill encoder and the decode attention (0 on the fp32 route).
+func (e *GenEngine) FusedLaunches() int64 {
+	return e.Encoder.FusedLaunches() + e.Generator.FusedLaunches()
+}
+
+// KVBytesPerToken is the device footprint one decoder context token costs
+// across all layers' K and V — halved on the fp16 route.
+func (e *GenEngine) KVBytesPerToken() int64 { return e.Generator.KVRowBytes() }
 
 // Step advances every live session one greedy token (see Generator.Step).
 func (e *GenEngine) Step(sessions []*model.GenSession) ([]int, error) {

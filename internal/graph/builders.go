@@ -196,3 +196,72 @@ func NewEncoderLayerFused(c LayerConfig) *Graph {
 	g.Output = layerOut
 	return g
 }
+
+// NewEncoderLayerFusedChains extends Fig. 3b one fusion level further, the
+// launch-chain collapse the fp16 fast path ships with: the four attention
+// core launches (batch_gemm3 → softmax → batch_gemm4 → transpose_back)
+// become two fused chains — qk_scaled_softmax (scale folded into the GEMM
+// alpha, softmax in place on the score buffer) and pv_transpose_back (the
+// PV GEMM writes [B,S,H] layout directly through strided C placement). The
+// attn_probs tensor doubles as the GEMM output, so the graph drops both the
+// attn_score and ctx_layer intermediates: two launches and two activation
+// buffers fewer per layer than the fused graph (10 ops vs 12). Same weight
+// set as the other builders.
+func NewEncoderLayerFusedChains(c LayerConfig) *Graph {
+	g := &Graph{
+		Name:    "encoder-layer-fused-chains",
+		Hidden:  c.Hidden,
+		Heads:   c.Heads,
+		HeadDim: c.HeadDim(),
+		Inter:   c.Inter,
+	}
+	h := int64(c.Hidden)
+	inter := int64(c.Inter)
+	heads := int64(c.Heads)
+	w := declareWeights(g, c)
+
+	x := g.AddTensor("from_tensor", TensorInput, DimExpr{BS: h})
+	g.Input = x
+
+	hid := DimExpr{BS: h}
+	score := DimExpr{BSS: heads}
+	interD := DimExpr{BS: inter}
+
+	qkvOut := g.AddTensor("qkv_out", TensorIntermediate, DimExpr{BS: 3 * h})
+	g.AddOp(OpFusedGemmQKV, "fused_gemm012", []int{x}, []int{qkvOut},
+		[]int{w["attn.wq"], w["attn.wk"], w["attn.wv"]}, Attr{N: 3 * c.Hidden, K: c.Hidden})
+
+	q := g.AddTensor("q", TensorIntermediate, hid)
+	k := g.AddTensor("k", TensorIntermediate, hid)
+	v := g.AddTensor("v", TensorIntermediate, hid)
+	g.AddOp(OpSplitAddBiasTranspose, "split_add_bias_transpose", []int{qkvOut}, []int{q, k, v},
+		[]int{w["attn.bq"], w["attn.bk"], w["attn.bv"]}, Attr{})
+
+	probs := g.AddTensor("attn_probs", TensorIntermediate, score)
+	g.AddOp(OpQKScaledSoftmax, "qk_scaled_softmax", []int{q, k}, []int{probs}, nil, Attr{})
+	ctxH := g.AddTensor("trans_out", TensorIntermediate, hid)
+	g.AddOp(OpPVTransposeBack, "pv_transpose_back", []int{probs, v}, []int{ctxH}, nil, Attr{})
+
+	attnLin := g.AddTensor("attn_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm5", []int{ctxH}, []int{attnLin}, []int{w["attn.wo"]},
+		Attr{N: c.Hidden, K: c.Hidden})
+	attnOut := g.AddTensor("attn_out", TensorIntermediate, hid)
+	g.AddOp(OpAddBiasLayerNorm, "add_bias_layernorm", []int{attnLin, x}, []int{attnOut},
+		[]int{w["attn.bo"], w["attn.ln.gamma"], w["attn.ln.beta"]}, Attr{})
+
+	interLin := g.AddTensor("intermediate_lin", TensorIntermediate, interD)
+	g.AddOp(OpGemm, "gemm6", []int{attnOut}, []int{interLin}, []int{w["ffn.w1"]},
+		Attr{N: c.Inter, K: c.Hidden})
+	interOut := g.AddTensor("intermediate_out", TensorIntermediate, interD)
+	g.AddOp(OpAddBiasAct, "add_bias_act", []int{interLin}, []int{interOut},
+		[]int{w["ffn.b1"]}, Attr{Act: c.Act})
+
+	outLin := g.AddTensor("out_lin", TensorIntermediate, hid)
+	g.AddOp(OpGemm, "gemm7", []int{interOut}, []int{outLin}, []int{w["ffn.w2"]},
+		Attr{N: c.Hidden, K: c.Inter})
+	layerOut := g.AddTensor("layer_out", TensorOutput, hid)
+	g.AddOp(OpAddBiasLayerNorm, "add_bias_layernorm_out", []int{outLin, attnOut}, []int{layerOut},
+		[]int{w["ffn.b2"], w["ffn.ln.gamma"], w["ffn.ln.beta"]}, Attr{})
+	g.Output = layerOut
+	return g
+}

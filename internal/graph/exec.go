@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/allocator"
@@ -27,6 +28,14 @@ type Executor struct {
 	// what Tensor Cores compute. Enabled via EnableTensorCoreEmulation.
 	tensorCore  bool
 	halfWeights map[int]*tensor.Tensor
+
+	// fp16 is the serving fast path over the same numerics: weights held as
+	// binary16 storage (halfW), activations encoded at GEMM boundaries, and
+	// the fused-chain ops active. Enabled via EnableFP16; bit-identical to
+	// the tensorCore emulation on any shared graph.
+	fp16          bool
+	halfW         map[int]blas.Half
+	fusedLaunches atomic.Int64
 }
 
 // RunStats reports per-inference memory-planning metrics (Fig. 13 measures
@@ -172,15 +181,41 @@ func (e *Executor) execRowOp(op *Op, data func(int) []float32, elems func(int) i
 
 	switch op.Kind {
 	case OpGemm:
-		in, out := e.gemmOperand(data(op.Inputs[0])), data(op.Outputs[0])
-		w := e.gemmWeight(op.Weights[0])
+		out := data(op.Outputs[0])
 		m := rowsOf(op.Inputs[0], op.Attr.K)
+		if e.fp16 {
+			pin, in := encodeActivation(data(op.Inputs[0])[:m*op.Attr.K])
+			blas.GemmF16(false, false, m, op.Attr.N, op.Attr.K, 1, in, op.Attr.K,
+				e.halfW[op.Weights[0]], op.Attr.N, 0, out, op.Attr.N)
+			putHalfScratch(pin)
+			break
+		}
+		in := e.gemmOperand(data(op.Inputs[0]))
+		w := e.gemmWeight(op.Weights[0])
 		blas.Gemm(false, false, m, op.Attr.N, op.Attr.K, 1, in, op.Attr.K, w, op.Attr.N, 0, out, op.Attr.N)
 
 	case OpFusedGemmQKV:
-		in, out := e.gemmOperand(data(op.Inputs[0])), data(op.Outputs[0])
+		out := data(op.Outputs[0])
 		k := op.Attr.K
 		m := rowsOf(op.Inputs[0], k)
+		if e.fp16 {
+			pin, in := encodeActivation(data(op.Inputs[0])[:m*k])
+			switch len(op.Weights) {
+			case 1:
+				blas.GemmF16(false, false, m, op.Attr.N, k, 1, in, k, e.halfW[op.Weights[0]], op.Attr.N, 0, out, op.Attr.N)
+			case 3:
+				n := op.Attr.N / 3
+				for i, wid := range op.Weights {
+					blas.GemmF16(false, false, m, n, k, 1, in, k, e.halfW[wid], n, 0, out[i*n:], op.Attr.N)
+				}
+			default:
+				putHalfScratch(pin)
+				return true, fmt.Errorf("fused QKV gemm needs 1 or 3 weights, has %d", len(op.Weights))
+			}
+			putHalfScratch(pin)
+			break
+		}
+		in := e.gemmOperand(data(op.Inputs[0]))
 		switch len(op.Weights) {
 		case 1: // pre-concatenated [K, 3H] weight
 			w := e.gemmWeight(op.Weights[0])
@@ -272,9 +307,23 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 		kernels.SplitAddBiasTransposeForScore(qkv, bias, batch, seq, heads, hd, q, k, v)
 
 	case OpBatchedGemmQK:
+		out := data(op.Outputs[0])
+		if e.fp16 {
+			pq, q := encodeActivation(data(op.Inputs[0])[:batch*seq*H])
+			pk, k := encodeActivation(data(op.Inputs[1])[:batch*seq*H])
+			blas.GroupedStridedBatchedGemmF16(false, true, 1, 0, []blas.StridedBatchF16{{
+				M: seq, N: seq, K: hd,
+				A: q, Lda: hd, StrideA: seq * hd,
+				B: k, Ldb: hd, StrideB: seq * hd,
+				C: out, Ldc: seq, StrideC: seq * seq,
+				Count: batch * heads,
+			}})
+			putHalfScratch(pq)
+			putHalfScratch(pk)
+			break
+		}
 		q := e.gemmOperand(data(op.Inputs[0]))
 		k := e.gemmOperand(data(op.Inputs[1]))
-		out := data(op.Outputs[0])
 		blas.StridedBatchedGemm(false, true, seq, seq, hd, 1,
 			q, hd, seq*hd, k, hd, seq*hd, 0, out, seq, seq*seq, batch*heads)
 
@@ -284,13 +333,101 @@ func (e *Executor) execOp(op *Op, data func(int) []float32, batch, seq int, seqL
 		copy(out[:n], in[:n])
 		scale := float32(1 / math.Sqrt(float64(hd)))
 		kernels.MaskedScaledSoftmax(out, batch, heads, seq, seq, scale, seqLens)
+		if e.fp16 {
+			// The fused fp16 softmax writes binary16 probabilities — the
+			// Tensor Core A operand of the PV GEMM.
+			tensor.RoundSliceF16(out[:n])
+		}
 
 	case OpBatchedGemmPV:
+		out := data(op.Outputs[0])
+		if e.fp16 {
+			// Probabilities are already binary16-valued (rounded by the
+			// softmax) — the AF mixed-operand form.
+			pv, v := encodeActivation(data(op.Inputs[1])[:batch*seq*H])
+			blas.GroupedStridedBatchedGemmF16(false, false, 1, 0, []blas.StridedBatchF16{{
+				M: seq, N: hd, K: seq,
+				AF: data(op.Inputs[0]), Lda: seq, StrideA: seq * seq,
+				B: v, Ldb: hd, StrideB: seq * hd,
+				C: out, Ldc: hd, StrideC: seq * hd,
+				Count: batch * heads,
+			}})
+			putHalfScratch(pv)
+			break
+		}
 		p := e.gemmOperand(data(op.Inputs[0]))
 		v := e.gemmOperand(data(op.Inputs[1]))
-		out := data(op.Outputs[0])
 		blas.StridedBatchedGemm(false, false, seq, hd, seq, 1,
 			p, seq, seq*seq, v, hd, seq*hd, 0, out, hd, seq*hd, batch*heads)
+
+	case OpQKScaledSoftmax:
+		// Fused chain: Q·Kᵀ with the softmax scale riding in alpha, then
+		// softmax in place on the probability buffer — one launch where the
+		// unfused stream pays a GEMM plus a scale sweep plus a softmax.
+		e.fusedLaunches.Add(1)
+		out := data(op.Outputs[0])
+		scale := float32(1 / math.Sqrt(float64(hd)))
+		if e.fp16 {
+			pq, q := encodeActivation(data(op.Inputs[0])[:batch*seq*H])
+			pk, k := encodeActivation(data(op.Inputs[1])[:batch*seq*H])
+			blas.GroupedStridedBatchedGemmF16(false, true, scale, 0, []blas.StridedBatchF16{{
+				M: seq, N: seq, K: hd,
+				A: q, Lda: hd, StrideA: seq * hd,
+				B: k, Ldb: hd, StrideB: seq * hd,
+				C: out, Ldc: seq, StrideC: seq * seq,
+				Count: batch * heads,
+			}})
+			putHalfScratch(pq)
+			putHalfScratch(pk)
+		} else {
+			q := e.gemmOperand(data(op.Inputs[0]))
+			k := e.gemmOperand(data(op.Inputs[1]))
+			blas.StridedBatchedGemm(false, true, seq, seq, hd, scale,
+				q, hd, seq*hd, k, hd, seq*hd, 0, out, seq, seq*seq, batch*heads)
+		}
+		kernels.MaskedScaledSoftmax(out, batch, heads, seq, seq, 1, seqLens)
+		if e.fp16 {
+			tensor.RoundSliceF16(out[:elems(op.Outputs[0])])
+		}
+
+	case OpPVTransposeBack:
+		// Fused chain: the PV GEMM writes [B,S,H] layout directly through
+		// strided C placement (per-batch groups, C stride hd across heads,
+		// ldc H across tokens) — no transpose launch, no per-head context
+		// intermediate. Accumulation per element is unchanged, so this is
+		// bit-identical to batch_gemm4 + transpose_back.
+		e.fusedLaunches.Add(1)
+		out := data(op.Outputs[0])
+		if e.fp16 {
+			pv, v := encodeActivation(data(op.Inputs[1])[:batch*seq*H])
+			p := data(op.Inputs[0])
+			groups := make([]blas.StridedBatchF16, batch)
+			for b := 0; b < batch; b++ {
+				groups[b] = blas.StridedBatchF16{
+					M: seq, N: hd, K: seq,
+					AF: p[b*heads*seq*seq:], Lda: seq, StrideA: seq * seq,
+					B: v[b*heads*seq*hd:], Ldb: hd, StrideB: seq * hd,
+					C: out[b*seq*H:], Ldc: H, StrideC: hd,
+					Count: heads,
+				}
+			}
+			blas.GroupedStridedBatchedGemmF16(false, false, 1, 0, groups)
+			putHalfScratch(pv)
+			break
+		}
+		p := e.gemmOperand(data(op.Inputs[0]))
+		v := e.gemmOperand(data(op.Inputs[1]))
+		groups := make([]blas.StridedBatch, batch)
+		for b := 0; b < batch; b++ {
+			groups[b] = blas.StridedBatch{
+				M: seq, N: hd, K: seq,
+				A: p[b*heads*seq*seq:], Lda: seq, StrideA: seq * seq,
+				B: v[b*heads*seq*hd:], Ldb: hd, StrideB: seq * hd,
+				C: out[b*seq*H:], Ldc: H, StrideC: hd,
+				Count: heads,
+			}
+		}
+		blas.GroupedStridedBatchedGemm(false, false, 1, 0, groups)
 
 	default:
 		return fmt.Errorf("unhandled op kind %v", op.Kind)

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"sync"
+
+	"repro/internal/blas"
+	"repro/internal/tensor"
+)
+
+// FP16 execution support: the executor's Turbo-TC fast path. Weights are
+// encoded to binary16 once at enable time; activations are encoded into
+// pooled scratch at each GEMM boundary (the Tensor Core load conversion);
+// accumulation and every non-GEMM kernel stay fp32. This supersedes the
+// legacy EnableTensorCoreEmulation route — which rounds through fp32 copies
+// and is kept as the numerics reference — with actual binary16 storage on
+// the weight side and the fused-chain ops on the launch side.
+
+// halfScratch pools activation-encode buffers. Package-level (not an
+// executor field) because concurrent Run/RunPacked calls on one executor
+// are legal and must not share encode scratch.
+var halfScratch = sync.Pool{New: func() any { h := make(blas.Half, 0, 4096); return &h }}
+
+func getHalfScratch(n int) (*blas.Half, blas.Half) {
+	p := halfScratch.Get().(*blas.Half)
+	if cap(*p) < n {
+		*p = make(blas.Half, n)
+	}
+	return p, (*p)[:n]
+}
+
+func putHalfScratch(p *blas.Half) { halfScratch.Put(p) }
+
+// EnableFP16 switches the executor's GEMMs to binary16 storage with fp32
+// accumulation: weights are encoded once here, activations at each GEMM
+// boundary. Idempotent.
+func (e *Executor) EnableFP16() {
+	if e.fp16 {
+		return
+	}
+	e.fp16 = true
+	e.halfW = make(map[int]blas.Half, len(e.Weights))
+	for id, w := range e.Weights {
+		e.halfW[id] = blas.EncodeHalf(w.Data())
+	}
+}
+
+// FP16Enabled reports whether the fp16 fast path is active.
+func (e *Executor) FP16Enabled() bool { return e.fp16 }
+
+// FusedLaunches returns how many fused-chain kernel launches
+// (qk_scaled_softmax, pv_transpose_back) this executor has run. The bench
+// compares this against the launch count the unfused graphs would have paid
+// to price the fusion win.
+func (e *Executor) FusedLaunches() int64 { return e.fusedLaunches.Load() }
+
+// encodeActivation rounds an activation region through binary16 into pooled
+// scratch. The caller must putHalfScratch the returned pin when the GEMM is
+// done.
+func encodeActivation(in []float32) (*blas.Half, blas.Half) {
+	p, h := getHalfScratch(len(in))
+	tensor.EncodeF16Slice(h, in)
+	return p, h
+}

@@ -22,6 +22,78 @@ func Fuse(g *Graph) *Graph {
 	return out
 }
 
+// FuseChains applies the second-level launch-chain fusion the fp16 fast
+// path ships with: on a graph that already has Fig. 3b's fused kernels, the
+// attention core's remaining four launches collapse to two —
+//
+//  4. BatchedGemmQK→Softmax becomes QKScaledSoftmax (the softmax scale
+//     rides in the GEMM alpha, the softmax runs in place on the scores), and
+//  5. BatchedGemmPV→TransposeBack becomes PVTransposeBack (the GEMM writes
+//     [B,S,H] layout directly through strided C placement).
+//
+// Like Fuse, the input graph is untouched and surviving tensor IDs are
+// shared, so weight bindings carry over.
+func FuseChains(g *Graph) *Graph {
+	out := cloneGraph(g)
+	fuseQKScaledSoftmax(out)
+	fusePVTransposeBack(out)
+	compact(out)
+	out.Name = g.Name + "-chains"
+	return out
+}
+
+// fuseQKScaledSoftmax implements rule 4.
+func fuseQKScaledSoftmax(g *Graph) {
+	for _, op := range append([]*Op(nil), g.Ops...) {
+		if op == nil || op.Kind != OpBatchedGemmQK {
+			continue
+		}
+		sm := soleConsumer(g, op.Outputs[0], OpSoftmax)
+		if sm == nil {
+			continue
+		}
+		fused := &Op{
+			Kind:    OpQKScaledSoftmax,
+			Name:    "qk_scaled_softmax",
+			Inputs:  append([]int(nil), op.Inputs...),
+			Outputs: []int{sm.Outputs[0]}, // scores tensor dies with the fusion
+		}
+		for i, o := range g.Ops {
+			if o == op {
+				fused.ID = i
+				g.Ops[i] = fused
+			}
+		}
+		markDead(g, sm)
+	}
+}
+
+// fusePVTransposeBack implements rule 5.
+func fusePVTransposeBack(g *Graph) {
+	for _, op := range append([]*Op(nil), g.Ops...) {
+		if op == nil || op.Kind != OpBatchedGemmPV {
+			continue
+		}
+		tb := soleConsumer(g, op.Outputs[0], OpTransposeBack)
+		if tb == nil {
+			continue
+		}
+		fused := &Op{
+			Kind:    OpPVTransposeBack,
+			Name:    "pv_transpose_back",
+			Inputs:  append([]int(nil), op.Inputs...),
+			Outputs: []int{tb.Outputs[0]}, // per-head ctx tensor dies with the fusion
+		}
+		for i, o := range g.Ops {
+			if o == op {
+				fused.ID = i
+				g.Ops[i] = fused
+			}
+		}
+		markDead(g, tb)
+	}
+}
+
 func cloneGraph(g *Graph) *Graph {
 	c := &Graph{
 		Name:    g.Name,

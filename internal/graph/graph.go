@@ -52,6 +52,16 @@ const (
 	OpSoftmax
 	// OpBatchedGemmPV computes probs·V per head.
 	OpBatchedGemmPV
+	// OpQKScaledSoftmax is the fused chain Q·Kᵀ → scale → softmax: the
+	// softmax scale rides in the GEMM's alpha and the softmax runs in place
+	// on the score buffer, collapsing what Fig. 3b still runs as two
+	// launches (batched_gemm_qk, softmax) into one.
+	OpQKScaledSoftmax
+	// OpPVTransposeBack is the fused chain probs·V → transpose_back: the
+	// batched GEMM writes its per-head outputs directly into [B,S,H] layout
+	// via strided C placement, eliminating the separate transpose launch
+	// and the per-head context intermediate.
+	OpPVTransposeBack
 )
 
 // String returns the operator's display name (matching Fig. 10's labels
@@ -86,6 +96,10 @@ func (k OpKind) String() string {
 		return "softmax"
 	case OpBatchedGemmPV:
 		return "batched_gemm_pv"
+	case OpQKScaledSoftmax:
+		return "qk_scaled_softmax"
+	case OpPVTransposeBack:
+		return "pv_transpose_back"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -94,7 +108,8 @@ func (k OpKind) String() string {
 // Fig. 3's fusion rule is built on: fuse everything between two GEMMs).
 func (k OpKind) IsGemm() bool {
 	switch k {
-	case OpGemm, OpFusedGemmQKV, OpBatchedGemmQK, OpBatchedGemmPV:
+	case OpGemm, OpFusedGemmQKV, OpBatchedGemmQK, OpBatchedGemmPV,
+		OpQKScaledSoftmax, OpPVTransposeBack:
 		return true
 	}
 	return false

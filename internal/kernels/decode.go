@@ -52,6 +52,11 @@ func decodeScoreFloats(ctxLens []int, heads int) int {
 type DecodeWorkspace struct {
 	groups []blas.StridedBatch
 	offs   []int
+
+	// fp16-route scratch: grouped descriptors with binary16 operands and the
+	// encoded query rows (the Tensor Core load conversion of q).
+	groupsF16 []blas.StridedBatchF16
+	qh        blas.Half
 }
 
 func (ws *DecodeWorkspace) groupsFor(n int) []blas.StridedBatch {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/allocator"
+	"repro/internal/blas"
+	"repro/internal/tensor"
 )
 
 // BlockKVCache is the paged replacement for KVCache: one generation
@@ -32,6 +34,7 @@ import (
 type BlockKVCache struct {
 	pool     *allocator.BlockPool
 	hidden   int
+	half     bool // binary16 rows: 2 bytes/element, double the tokens per block
 	blockTok int
 	k, v     [][]*allocator.Block // [layer][block]
 	owned    [][]bool             // [layer][block]: this cache may write K and V there
@@ -46,10 +49,24 @@ type BlockKVCache struct {
 // must be a whole number of [hidden]float32 rows. No blocks are acquired
 // until the first EnsureAppendable.
 func NewBlockKVCache(pool *allocator.BlockPool, layers, hidden int) (*BlockKVCache, error) {
+	return newBlockKVCache(pool, layers, hidden, false)
+}
+
+// NewBlockKVCacheF16 opens an empty paged cache with binary16 rows: the same
+// pool blocks hold twice the tokens, so the same device budget admits ~2×
+// the sessions. The pool block size is unchanged — only blockTok doubles.
+func NewBlockKVCacheF16(pool *allocator.BlockPool, layers, hidden int) (*BlockKVCache, error) {
+	return newBlockKVCache(pool, layers, hidden, true)
+}
+
+func newBlockKVCache(pool *allocator.BlockPool, layers, hidden int, half bool) (*BlockKVCache, error) {
 	if layers <= 0 || hidden <= 0 {
 		return nil, fmt.Errorf("model: invalid paged KV geometry layers=%d hidden=%d", layers, hidden)
 	}
 	rowBytes := int64(hidden) * 4
+	if half {
+		rowBytes = int64(hidden) * 2
+	}
 	if pool.BlockBytes() < rowBytes || pool.BlockBytes()%rowBytes != 0 {
 		return nil, fmt.Errorf("model: pool block %d bytes not a multiple of the %d-byte KV row",
 			pool.BlockBytes(), rowBytes)
@@ -57,11 +74,23 @@ func NewBlockKVCache(pool *allocator.BlockPool, layers, hidden int) (*BlockKVCac
 	return &BlockKVCache{
 		pool:     pool,
 		hidden:   hidden,
+		half:     half,
 		blockTok: int(pool.BlockBytes() / rowBytes),
 		k:        make([][]*allocator.Block, layers),
 		v:        make([][]*allocator.Block, layers),
 		owned:    make([][]bool, layers),
 	}, nil
+}
+
+// Half reports whether the cache stores binary16 rows.
+func (c *BlockKVCache) Half() bool { return c.half }
+
+// rowBytes returns the committed size of one [hidden] row.
+func (c *BlockKVCache) rowBytes() int64 {
+	if c.half {
+		return int64(c.hidden) * 2
+	}
+	return int64(c.hidden) * 4
 }
 
 // BlockTokens returns the pool's block size in rows.
@@ -94,7 +123,7 @@ func (c *BlockKVCache) MapFrom(src *BlockKVCache, rows int) error {
 	if c.length != 0 || c.Blocks() != 0 {
 		return fmt.Errorf("model: MapFrom into a non-empty paged cache")
 	}
-	if src.pool != c.pool || src.hidden != c.hidden || len(src.k) != len(c.k) {
+	if src.pool != c.pool || src.hidden != c.hidden || src.half != c.half || len(src.k) != len(c.k) {
 		return fmt.Errorf("model: MapFrom across incompatible caches")
 	}
 	if rows < 0 || rows > src.length {
@@ -173,7 +202,7 @@ func (c *BlockKVCache) EnsureAppendable() bool {
 	}
 
 	// Phase 3: apply (infallible).
-	tailFloats := (c.length % c.blockTok) * c.hidden
+	tailElems := (c.length % c.blockTok) * c.hidden
 	for i, w := range items {
 		table := &c.k[w.layer]
 		if w.isV {
@@ -182,8 +211,13 @@ func (c *BlockKVCache) EnsureAppendable() bool {
 		b := blocks[i]
 		if w.cow {
 			old := (*table)[bi]
-			copy(b.Data()[:tailFloats], old.Data()[:tailFloats])
-			c.pool.Commit(b, int64(tailFloats)*4)
+			if c.half {
+				copy(b.DataU16()[:tailElems], old.DataU16()[:tailElems])
+				c.pool.Commit(b, int64(tailElems)*2)
+			} else {
+				copy(b.Data()[:tailElems], old.Data()[:tailElems])
+				c.pool.Commit(b, int64(tailElems)*4)
+			}
 			c.pool.Release(old)
 			(*table)[bi] = b
 		} else {
@@ -216,6 +250,11 @@ func (c *BlockKVCache) AppendRow(layer int, kRow, vRow []float32) {
 	if kb.Shared() || vb.Shared() {
 		panic("model: AppendRow into a shared block")
 	}
+	if c.half {
+		tensor.EncodeF16Slice(kb.DataU16()[off:off+c.hidden], kRow)
+		tensor.EncodeF16Slice(vb.DataU16()[off:off+c.hidden], vRow)
+		return
+	}
 	copy(kb.Data()[off:off+c.hidden], kRow)
 	copy(vb.Data()[off:off+c.hidden], vRow)
 }
@@ -224,7 +263,7 @@ func (c *BlockKVCache) AppendRow(layer int, kRow, vRow []float32) {
 // KV-used gauge one row across all layers' K and V blocks.
 func (c *BlockKVCache) Advance() {
 	bi := c.length / c.blockTok
-	rb := int64(c.hidden) * 4
+	rb := c.rowBytes()
 	for l := range c.k {
 		c.pool.Commit(c.k[l][bi], rb)
 		c.pool.Commit(c.v[l][bi], rb)
@@ -236,13 +275,19 @@ func (c *BlockKVCache) Advance() {
 // include the row appended but not yet advanced) to dst — each a
 // full-capacity block slice, the layout kernels.AttentionBlocked reads
 // through. Append-style so the decode scratch can reuse one backing array
-// across sessions and steps.
+// across sessions and steps. Panics on a binary16 cache — use KBlocksH.
 func (c *BlockKVCache) KBlocks(dst [][]float32, l, tokens int) [][]float32 {
+	if c.half {
+		panic("model: KBlocks on a binary16 paged cache; use KBlocksH")
+	}
 	return appendBlockSlices(dst, c.k[l], tokens, c.blockTok)
 }
 
 // VBlocks appends layer l's value blocks, like KBlocks.
 func (c *BlockKVCache) VBlocks(dst [][]float32, l, tokens int) [][]float32 {
+	if c.half {
+		panic("model: VBlocks on a binary16 paged cache; use VBlocksH")
+	}
 	return appendBlockSlices(dst, c.v[l], tokens, c.blockTok)
 }
 
@@ -250,6 +295,31 @@ func appendBlockSlices(dst [][]float32, table []*allocator.Block, tokens, blockT
 	nb := (tokens + blockTok - 1) / blockTok
 	for b := 0; b < nb; b++ {
 		dst = append(dst, table[b].Data())
+	}
+	return dst
+}
+
+// KBlocksH appends layer l's key blocks as binary16 storage (fp16 caches
+// only), the layout kernels.AttentionBlockedF16 reads through.
+func (c *BlockKVCache) KBlocksH(dst []blas.Half, l, tokens int) []blas.Half {
+	if !c.half {
+		panic("model: KBlocksH on an fp32 paged cache; use KBlocks")
+	}
+	return appendBlockSlicesU16(dst, c.k[l], tokens, c.blockTok)
+}
+
+// VBlocksH appends layer l's value blocks, like KBlocksH.
+func (c *BlockKVCache) VBlocksH(dst []blas.Half, l, tokens int) []blas.Half {
+	if !c.half {
+		panic("model: VBlocksH on an fp32 paged cache; use VBlocks")
+	}
+	return appendBlockSlicesU16(dst, c.v[l], tokens, c.blockTok)
+}
+
+func appendBlockSlicesU16(dst []blas.Half, table []*allocator.Block, tokens, blockTok int) []blas.Half {
+	nb := (tokens + blockTok - 1) / blockTok
+	for b := 0; b < nb; b++ {
+		dst = append(dst, table[b].DataU16())
 	}
 	return dst
 }

@@ -50,6 +50,11 @@ type Decoder struct {
 	// rebinds it to the engine's shared device so decode activations appear
 	// in the same MemoryStats as encoder activations and KV caches.
 	scr *decodeScratch
+
+	// fp16 fast path (EnableFP16): weights encoded to binary16 once, decode
+	// GEMMs run fp16-storage/fp32-accumulate, KV caches store binary16.
+	fp16  bool
+	halfW map[*tensor.Tensor]blas.Half
 }
 
 // NewDecoder builds a decoder with deterministic random weights.
@@ -118,10 +123,37 @@ func (s *decodeState) clone(layers int) *decodeState {
 }
 
 // crossCache holds the per-layer projected encoder memory, shared by all
-// beams (it depends only on the source sentence).
+// beams (it depends only on the source sentence). In fp16 mode (half) the
+// projections are stored as binary16 (kh/vh) and k/v stay nil — the cross
+// memory is KV storage like the decode cache, so it halves with it.
 type crossCache struct {
-	k, v   [][]float32 // [layer][srcLen*hidden]
+	k, v   [][]float32 // [layer][srcLen*hidden], fp32 mode
+	kh, vh []blas.Half // [layer][srcLen*hidden], fp16 mode
+	half   bool
 	srcLen int
+}
+
+func (cc *crossCache) layers() int {
+	if cc.half {
+		return len(cc.kh)
+	}
+	return len(cc.k)
+}
+
+func (cc *crossCache) elemBytes() int64 {
+	if cc.half {
+		return 2
+	}
+	return 4
+}
+
+// newCrossCache builds the cross cache on the decoder's active numeric
+// route (fp32, or binary16 after EnableFP16).
+func (d *Decoder) newCrossCache(memory *tensor.Tensor) *crossCache {
+	if d.fp16 {
+		return d.buildCrossCacheF16(memory)
+	}
+	return d.buildCrossCache(memory)
 }
 
 // buildCrossCache projects the encoder memory through every layer's

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/allocator"
+	"repro/internal/blas"
 	"repro/internal/kernels"
 )
 
@@ -55,6 +56,14 @@ type decodeScratch struct {
 	flatKB, flatVB [][]float32
 	blkCounts      []int
 	kb, vb         [][][]float32
+
+	// fp16-route gather lists: the binary16 twins of keys/vals and the
+	// flattened block tables, plus xh, the activation-encode scratch the
+	// batched fp16 projections round through.
+	keysH, valsH     []blas.Half
+	flatKBH, flatVBH []blas.Half
+	kbh, vbh         [][]blas.Half
+	xh               blas.Half
 
 	// ws caches the grouped-GEMM descriptors the decode kernels build.
 	ws kernels.DecodeWorkspace
@@ -140,6 +149,28 @@ func (s *decodeScratch) gatherBlocked() ([][]float32, [][]float32, []int, []int)
 	return s.flatKB, s.flatVB, s.blkCounts, s.lens
 }
 
+// gatherF16 is gather for the binary16 route.
+func (s *decodeScratch) gatherF16() ([]blas.Half, []blas.Half, []int) {
+	s.clearGather()
+	return s.keysH, s.valsH, s.lens
+}
+
+// gatherBlockedF16 is gatherBlocked for the binary16 route.
+func (s *decodeScratch) gatherBlockedF16() ([]blas.Half, []blas.Half, []int, []int) {
+	s.clearGather()
+	return s.flatKBH, s.flatVBH, s.blkCounts, s.lens
+}
+
+// halfIn returns the activation-encode scratch sized for n elements,
+// growing it as needed. Must be called with mu held; the slice is valid
+// until the next halfIn call.
+func (s *decodeScratch) halfIn(n int) blas.Half {
+	if cap(s.xh) < n {
+		s.xh = make(blas.Half, n)
+	}
+	return s.xh[:n]
+}
+
 // clearGather drops the KV references collected during an iteration
 // (truncating alone would leave stale slice headers alive in the backing
 // array, keeping freed sessions' K/V storage reachable). Called with mu
@@ -160,5 +191,20 @@ func (s *decodeScratch) clearGather() {
 		}
 	}
 	s.kb, s.vb = s.kb[:0], s.vb[:0]
+	clearHalves := func(v []blas.Half) []blas.Half {
+		full := v[:cap(v)]
+		for i := range full {
+			full[i] = nil
+		}
+		return v[:0]
+	}
+	s.keysH, s.valsH = clearHalves(s.keysH), clearHalves(s.valsH)
+	s.flatKBH, s.flatVBH = clearHalves(s.flatKBH), clearHalves(s.flatVBH)
+	for _, v := range [2][][]blas.Half{s.kbh[:cap(s.kbh)], s.vbh[:cap(s.vbh)]} {
+		for i := range v {
+			v[i] = nil
+		}
+	}
+	s.kbh, s.vbh = s.kbh[:0], s.vbh[:0]
 	s.lens, s.blkCounts = s.lens[:0], s.blkCounts[:0]
 }

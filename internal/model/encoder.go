@@ -33,18 +33,29 @@ type EncoderStats struct {
 // seed. Pass fused=false to build the unfused (training-framework-style)
 // graph for comparisons.
 func NewEncoder(cfg Config, seed int64, alloc allocator.Allocator, fused bool) (*Encoder, error) {
+	build := graph.NewEncoderLayerUnfused
+	if fused {
+		build = graph.NewEncoderLayerFused
+	}
+	return newEncoderWith(cfg, seed, alloc, build)
+}
+
+// NewEncoderFusedChains builds the encoder on the fused-chain graph — the
+// Fig. 3b fused kernels with the attention core further collapsed to
+// qk_scaled_softmax + pv_transpose_back (two launches fewer per layer).
+// This is the graph the fp16 fast path serves on.
+func NewEncoderFusedChains(cfg Config, seed int64, alloc allocator.Allocator) (*Encoder, error) {
+	return newEncoderWith(cfg, seed, alloc, graph.NewEncoderLayerFusedChains)
+}
+
+func newEncoderWith(cfg Config, seed int64, alloc allocator.Allocator, build func(graph.LayerConfig) *graph.Graph) (*Encoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.IsDecoder {
 		return nil, fmt.Errorf("model %s: use NewDecoder for decoder configs", cfg.Name)
 	}
-	var g *graph.Graph
-	if fused {
-		g = graph.NewEncoderLayerFused(cfg.LayerConfig())
-	} else {
-		g = graph.NewEncoderLayerUnfused(cfg.LayerConfig())
-	}
+	g := build(cfg.LayerConfig())
 	e := &Encoder{Cfg: cfg, Graph: g, alloc: alloc}
 	shared := graph.RandomWeights(g, seed)
 	for l := 0; l < cfg.Layers; l++ {
@@ -123,6 +134,31 @@ func (e *Encoder) EnableTensorCoreEmulation() {
 	for _, ex := range e.execs {
 		ex.EnableTensorCoreEmulation()
 	}
+}
+
+// EnableFP16 switches every layer to the binary16 fast path: weights
+// encoded once, activations rounded at each GEMM boundary, fp32
+// accumulation (bit-identical to EnableTensorCoreEmulation, with real
+// binary16 weight storage).
+func (e *Encoder) EnableFP16() {
+	for _, ex := range e.execs {
+		ex.EnableFP16()
+	}
+}
+
+// FP16Enabled reports whether EnableFP16 was called.
+func (e *Encoder) FP16Enabled() bool {
+	return len(e.execs) > 0 && e.execs[0].FP16Enabled()
+}
+
+// FusedLaunches sums the fused-chain kernel launches across the stack's
+// executors (0 unless the encoder runs the fused-chain graph).
+func (e *Encoder) FusedLaunches() int64 {
+	var n int64
+	for _, ex := range e.execs {
+		n += ex.FusedLaunches()
+	}
+	return n
 }
 
 // Allocator exposes the memory manager (for footprint experiments).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/allocator"
 	"repro/internal/blas"
@@ -49,6 +50,11 @@ type Generator struct {
 	// retired generations for prompt-identical reuse.
 	pool   *allocator.BlockPool
 	prefix *PrefixCache
+
+	// fusedLaunches counts the fused attention kernel chains the fp16 route
+	// has dispatched (score-GEMM-with-fused-scale + softmax-cast + context
+	// product as one grouped call per sub-layer). Exposed via /v1/stats.
+	fusedLaunches atomic.Int64
 }
 
 // ErrKVPoolExhausted is returned by Step when a paged session cannot
@@ -110,10 +116,29 @@ func (g *Generator) ClosePrefix() {
 
 // KVRowBytes is the device footprint one token of decoder context costs
 // across all layers' K and V — the unit converting the continuous
-// scheduler's token ledger into the device's KV byte gauges.
+// scheduler's token ledger into the device's KV byte gauges. The fp16 fast
+// path halves it: binary16 rows cost 2 bytes per element, so the same
+// device budget admits ~2× the context tokens.
 func (g *Generator) KVRowBytes() int64 {
-	return int64(g.Cfg.Layers) * 2 * int64(g.Cfg.Hidden) * 4
+	elem := int64(4)
+	if g.dec.fp16 {
+		elem = 2
+	}
+	return int64(g.Cfg.Layers) * 2 * int64(g.Cfg.Hidden) * elem
 }
+
+// EnableFP16 switches generation to the binary16 fast path: weights encoded
+// once, KV caches (self and cross) stored as binary16, decode attention
+// dispatched through the fused fp16 kernel chains. Must be called before
+// any session is opened. Idempotent.
+func (g *Generator) EnableFP16() { g.dec.EnableFP16() }
+
+// FP16Enabled reports whether the fp16 fast path is active.
+func (g *Generator) FP16Enabled() bool { return g.dec.fp16 }
+
+// FusedLaunches returns how many fused attention kernel chains the fp16
+// route has dispatched.
+func (g *Generator) FusedLaunches() int64 { return g.fusedLaunches.Load() }
 
 // NewGenerator builds a generator around a decoder configuration. KV-cache
 // buffers and the decode scratch are accounted on dev.
@@ -223,11 +248,15 @@ func (g *Generator) NewSession(id int64, memory *tensor.Tensor, maxNew int) (*Ge
 	if maxNew <= 0 || maxNew > g.Cfg.MaxTargetLen {
 		maxNew = g.Cfg.MaxTargetLen
 	}
-	kv, err := NewKVCache(g.dev, g.Cfg.Layers, g.Cfg.Hidden, maxNew)
+	newKV := NewKVCache
+	if g.dec.fp16 {
+		newKV = NewKVCacheF16
+	}
+	kv, err := newKV(g.dev, g.Cfg.Layers, g.Cfg.Hidden, maxNew)
 	if err != nil {
 		return nil, err
 	}
-	ccr := newCCRef(g.dev, g.dec.buildCrossCache(memory), g.Cfg.Hidden)
+	ccr := newCCRef(g.dev, g.dec.newCrossCache(memory), g.Cfg.Hidden)
 	return &GenSession{
 		ID:     id,
 		cc:     ccr.cc,
@@ -269,10 +298,14 @@ func (g *Generator) NewPagedSession(id int64, prompt []int, memory *tensor.Tenso
 			return nil, fmt.Errorf("model %s: memory shape %v, want [srcLen, %d]",
 				g.Cfg.Name, memory.Shape(), g.Cfg.Hidden)
 		}
-		ccr = newCCRef(g.dev, g.dec.buildCrossCache(memory), g.Cfg.Hidden)
+		ccr = newCCRef(g.dev, g.dec.newCrossCache(memory), g.Cfg.Hidden)
 		g.prefix.misses++
 	}
-	pkv, err := NewBlockKVCache(g.pool, g.Cfg.Layers, g.Cfg.Hidden)
+	newPKV := NewBlockKVCache
+	if g.dec.fp16 {
+		newPKV = NewBlockKVCacheF16
+	}
+	pkv, err := newPKV(g.pool, g.Cfg.Layers, g.Cfg.Hidden)
 	if err != nil {
 		ccr.release()
 		return nil, err
@@ -362,6 +395,9 @@ func (s *GenSession) Close() {
 // chosen for each, in order. Sessions marked done are rejected — the
 // continuous scheduler must evict them between iterations.
 func (g *Generator) Step(sessions []*GenSession) ([]int, error) {
+	if g.dec.fp16 {
+		return g.stepF16(sessions)
+	}
 	rows := len(sessions)
 	if rows == 0 {
 		return nil, nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/allocator"
+	"repro/internal/blas"
+	"repro/internal/tensor"
 )
 
 // KVChunkTokens is the granularity of KV-cache capacity growth. Like
@@ -48,10 +50,21 @@ const maxKVTokens = 1 << 40
 type KVCache struct {
 	dev         *allocator.Device
 	hidden      int
+	half        bool                // binary16 storage (fp16 fast path): 2 bytes/element
 	k, v        []*allocator.Buffer // one per layer
 	length      int                 // tokens currently stored
 	capTok      int                 // token capacity of every buffer
 	reservedTok int                 // tokens charged to the KV-reserved gauge
+}
+
+// elemBytes returns the storage width of one element: 4 for fp32, 2 for the
+// binary16 fast path. Halving this is exactly the "~2× KV capacity" lever —
+// every gauge, grant, and buffer size below scales with it.
+func (c *KVCache) elemBytes() int64 {
+	if c.half {
+		return 2
+	}
+	return 4
 }
 
 // roundUpTokens applies the growth policy: headroom-scaled and rounded to
@@ -75,13 +88,14 @@ func roundUpTokens(need int) int {
 }
 
 // kvBufferBytes returns the byte size of one layer's K (or V) buffer for
-// tokens rows, or an error when the size cannot be represented.
-func kvBufferBytes(tokens, hidden int) (int64, error) {
+// tokens rows at the given element width, or an error when the size cannot
+// be represented.
+func kvBufferBytes(tokens, hidden int, elemBytes int64) (int64, error) {
 	if tokens < 0 || tokens > maxKVTokens {
 		return 0, fmt.Errorf("model: KV token count %d outside [0, %d]", tokens, maxKVTokens)
 	}
-	bytes := int64(tokens) * int64(hidden) * 4
-	if hidden > 0 && bytes/int64(hidden)/4 != int64(tokens) {
+	bytes := int64(tokens) * int64(hidden) * elemBytes
+	if hidden > 0 && bytes/int64(hidden)/elemBytes != int64(tokens) {
 		return 0, fmt.Errorf("model: KV buffer size overflows (%d tokens × hidden %d)", tokens, hidden)
 	}
 	return bytes, nil
@@ -92,6 +106,17 @@ func kvBufferBytes(tokens, hidden int) (int64, error) {
 // the admission grant. A grant the device budget cannot represent is
 // rejected with an error instead of panicking inside Malloc.
 func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCache, error) {
+	return newKVCache(dev, layers, hidden, expectTokens, false)
+}
+
+// NewKVCacheF16 is NewKVCache with binary16 storage: half the bytes per
+// token flow through every gauge, so the same device budget admits ~2× the
+// sessions.
+func NewKVCacheF16(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCache, error) {
+	return newKVCache(dev, layers, hidden, expectTokens, true)
+}
+
+func newKVCache(dev *allocator.Device, layers, hidden, expectTokens int, half bool) (*KVCache, error) {
 	if layers <= 0 || hidden <= 0 {
 		return nil, fmt.Errorf("model: invalid KV cache geometry layers=%d hidden=%d", layers, hidden)
 	}
@@ -102,7 +127,8 @@ func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCac
 		return nil, fmt.Errorf("model: KV grant %d tokens exceeds the %d-token device budget", expectTokens, maxKVTokens)
 	}
 	capTok := roundUpTokens(expectTokens)
-	bytes, err := kvBufferBytes(capTok, hidden)
+	c := &KVCache{dev: dev, hidden: hidden, half: half, capTok: capTok, reservedTok: expectTokens}
+	bytes, err := kvBufferBytes(capTok, hidden, c.elemBytes())
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +136,6 @@ func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCac
 	if total := bytes * 2 * int64(layers); bytes != 0 && total/bytes != 2*int64(layers) {
 		return nil, fmt.Errorf("model: KV cache footprint overflows (%d layers × %d bytes)", layers, bytes)
 	}
-	c := &KVCache{dev: dev, hidden: hidden, capTok: capTok, reservedTok: expectTokens}
 	for l := 0; l < layers; l++ {
 		c.k = append(c.k, dev.Malloc(bytes))
 		c.v = append(c.v, dev.Malloc(bytes))
@@ -124,7 +149,7 @@ func NewKVCache(dev *allocator.Device, layers, hidden, expectTokens int) (*KVCac
 // rowBytes is the device footprint one committed token adds across all
 // layers' K and V buffers.
 func (c *KVCache) rowBytes() int64 {
-	return int64(len(c.k)) * 2 * int64(c.hidden) * 4
+	return int64(len(c.k)) * 2 * int64(c.hidden) * c.elemBytes()
 }
 
 // UsedBytes returns the bytes actually occupied by committed context rows
@@ -163,16 +188,21 @@ func (c *KVCache) Bytes() int64 {
 // traffic counters, exactly like a chunk reallocation in Algorithm 1.
 func (c *KVCache) grow(need int) {
 	newCap := roundUpTokens(need)
-	bytes, err := kvBufferBytes(newCap, c.hidden)
+	bytes, err := kvBufferBytes(newCap, c.hidden, c.elemBytes())
 	if err != nil {
 		panic(fmt.Sprintf("model: KV growth past validated grant: %v", err))
 	}
-	liveFloats := c.length * c.hidden
+	live := c.length * c.hidden
 	for l := range c.k {
 		nk := c.dev.Malloc(bytes)
 		nv := c.dev.Malloc(bytes)
-		copy(nk.Data()[:liveFloats], c.k[l].Data()[:liveFloats])
-		copy(nv.Data()[:liveFloats], c.v[l].Data()[:liveFloats])
+		if c.half {
+			copy(nk.DataU16()[:live], c.k[l].DataU16()[:live])
+			copy(nv.DataU16()[:live], c.v[l].DataU16()[:live])
+		} else {
+			copy(nk.Data()[:live], c.k[l].Data()[:live])
+			copy(nv.Data()[:live], c.v[l].Data()[:live])
+		}
 		c.dev.Free(c.k[l])
 		c.dev.Free(c.v[l])
 		c.k[l], c.v[l] = nk, nv
@@ -193,6 +223,14 @@ func (c *KVCache) AppendRow(layer int, kRow, vRow []float32) {
 		c.grow(c.length + 1)
 	}
 	off := c.length * c.hidden
+	if c.half {
+		// The write-side cast of the fp16 path: rows are rounded through
+		// binary16 as they enter the cache, the same conversion a Tensor
+		// Core store performs.
+		tensor.EncodeF16Slice(c.k[layer].DataU16()[off:off+c.hidden], kRow)
+		tensor.EncodeF16Slice(c.v[layer].DataU16()[off:off+c.hidden], vRow)
+		return
+	}
 	copy(c.k[layer].Data()[off:off+c.hidden], kRow)
 	copy(c.v[layer].Data()[off:off+c.hidden], vRow)
 }
@@ -209,12 +247,42 @@ func (c *KVCache) Advance() {
 	c.dev.AddKVUsed(c.rowBytes())
 }
 
+// Half reports whether the cache stores binary16 rows.
+func (c *KVCache) Half() bool { return c.half }
+
 // K returns layer l's keys as a contiguous [tokens, hidden] slice covering
 // tokens rows (tokens may include the row appended but not yet advanced).
-func (c *KVCache) K(l, tokens int) []float32 { return c.k[l].Data()[:tokens*c.hidden] }
+// Panics on a binary16 cache — the fp16 decode path reads KH/VH.
+func (c *KVCache) K(l, tokens int) []float32 {
+	if c.half {
+		panic("model: K on a binary16 KV cache; use KH")
+	}
+	return c.k[l].Data()[:tokens*c.hidden]
+}
 
 // V returns layer l's values, like K.
-func (c *KVCache) V(l, tokens int) []float32 { return c.v[l].Data()[:tokens*c.hidden] }
+func (c *KVCache) V(l, tokens int) []float32 {
+	if c.half {
+		panic("model: V on a binary16 KV cache; use VH")
+	}
+	return c.v[l].Data()[:tokens*c.hidden]
+}
+
+// KH returns layer l's keys as binary16 storage (fp16 caches only).
+func (c *KVCache) KH(l, tokens int) blas.Half {
+	if !c.half {
+		panic("model: KH on an fp32 KV cache; use K")
+	}
+	return c.k[l].DataU16()[:tokens*c.hidden]
+}
+
+// VH returns layer l's values as binary16 storage, like KH.
+func (c *KVCache) VH(l, tokens int) blas.Half {
+	if !c.half {
+		panic("model: VH on an fp32 KV cache; use V")
+	}
+	return c.v[l].DataU16()[:tokens*c.hidden]
+}
 
 // Free returns all buffers to the device (request evicted or finished) and
 // releases the reservation and usage gauges — exactly the bytes charged,

@@ -29,7 +29,7 @@ func newCCRef(dev *allocator.Device, cc *crossCache, hidden int) *ccRef {
 	r := &ccRef{
 		cc:    cc,
 		dev:   dev,
-		bytes: int64(cc.srcLen) * int64(len(cc.k)) * 2 * int64(hidden) * 4,
+		bytes: int64(cc.srcLen) * int64(cc.layers()) * 2 * int64(hidden) * cc.elemBytes(),
 		refs:  1,
 	}
 	dev.AddKVReserved(r.bytes)

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ type redKey struct {
 	softmax    bool
 	impl       int
 	rows, cols int
+	lens       string // packed variants: length histogram key ("" for dense)
 }
 
 // NewEstimator returns an estimator for the given GPU.
@@ -129,6 +131,37 @@ func (e *Estimator) LayerNormTime(p Profile, rows, cols int) time.Duration {
 	key := redKey{softmax: false, impl: int(p.LayerNormImpl), rows: rows, cols: cols}
 	body := e.cachedReduction(key, func() time.Duration {
 		res := reduction.TimeLayerNorm(e.dev, p.LayerNormImpl, rows, cols)
+		return e.bodyTime(res)
+	})
+	return p.LaunchOverhead + time.Duration(float64(body)*p.LayerNormPenalty)
+}
+
+// SoftmaxPackedTime prices the packed (zero-padding) attention softmax over
+// a ragged batch: per-request rows×len reductions grouped by length, as
+// TimeSoftmaxPacked simulates them. This is the reduction half of the fused
+// qk_scaled_softmax launch chain — the estimator charges ONE LaunchOverhead
+// for the whole chain, mirroring the fused kernel's single launch.
+func (e *Estimator) SoftmaxPackedTime(p Profile, lens []int, heads int) time.Duration {
+	if len(lens) == 0 || heads <= 0 {
+		return p.LaunchOverhead
+	}
+	key := redKey{softmax: true, impl: int(p.SoftmaxImpl), rows: heads, lens: fmt.Sprint(lens)}
+	body := e.cachedReduction(key, func() time.Duration {
+		res := reduction.TimeSoftmaxPacked(e.dev, p.SoftmaxImpl, lens, heads)
+		return e.bodyTime(res)
+	})
+	return p.LaunchOverhead + time.Duration(float64(body)*p.SoftmaxPenalty)
+}
+
+// LayerNormPackedTime prices a packed-batch LayerNorm: sum(lens) rows of
+// width hidden, no padding rows ever normalised.
+func (e *Estimator) LayerNormPackedTime(p Profile, lens []int, hidden int) time.Duration {
+	if len(lens) == 0 || hidden <= 0 {
+		return p.LaunchOverhead
+	}
+	key := redKey{softmax: false, impl: int(p.LayerNormImpl), cols: hidden, lens: fmt.Sprint(lens)}
+	body := e.cachedReduction(key, func() time.Duration {
+		res := reduction.TimeLayerNormPacked(e.dev, p.LayerNormImpl, lens, hidden)
 		return e.bodyTime(res)
 	})
 	return p.LaunchOverhead + time.Duration(float64(body)*p.LayerNormPenalty)

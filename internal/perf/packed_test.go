@@ -1,0 +1,37 @@
+package perf
+
+import "testing"
+
+// TestSoftmaxPackedCheaperThanPadded: on a ragged batch the packed softmax
+// prices only each request's own [heads, len, len] score block, so it must
+// come in under the padded kernel's batch·heads·maxLen × maxLen sweep.
+func TestSoftmaxPackedCheaperThanPadded(t *testing.T) {
+	e := est()
+	p := Turbo()
+	lens := []int{7, 19, 33, 64}
+	heads := 12
+	maxLen := 64
+	packed := e.SoftmaxPackedTime(p, lens, heads)
+	padded := e.SoftmaxTime(p, len(lens)*heads*maxLen, maxLen)
+	if packed >= padded {
+		t.Fatalf("packed softmax %v not cheaper than padded %v", packed, padded)
+	}
+	// Memoised second call must agree exactly.
+	if again := e.SoftmaxPackedTime(p, lens, heads); again != packed {
+		t.Fatalf("packed softmax not deterministic: %v vs %v", again, packed)
+	}
+}
+
+// TestLayerNormPackedMatchesRowSum: the LayerNorm kernel is row-wise, so the
+// packed variant over lens must equal the dense kernel over Σ lens rows.
+func TestLayerNormPackedMatchesRowSum(t *testing.T) {
+	e := est()
+	p := Turbo()
+	lens := []int{5, 11, 16}
+	hidden := 768
+	packed := e.LayerNormPackedTime(p, lens, hidden)
+	dense := e.LayerNormTime(p, 5+11+16, hidden)
+	if packed != dense {
+		t.Fatalf("packed layernorm %v != dense row-sum %v", packed, dense)
+	}
+}

@@ -251,6 +251,11 @@ func aggregateStats(parts []statsResponse) statsResponse {
 		agg.PrefixMisses += p.PrefixMisses
 		agg.ReplayTokens += p.ReplayTokens
 		agg.GenPreemptions += p.GenPreemptions
+		agg.FP16Enabled = agg.FP16Enabled || p.FP16Enabled
+		agg.FusedLaunches += p.FusedLaunches
+		if p.KVBytesPerToken > agg.KVBytesPerToken {
+			agg.KVBytesPerToken = p.KVBytesPerToken
+		}
 	}
 	if t := agg.TokensProcessed + agg.TokensPadded; t > 0 {
 		agg.PaddingWaste = float64(agg.TokensPadded) / float64(t)

@@ -222,6 +222,11 @@ func TestRouterPropertyNoLossNoDupStatsSum(t *testing.T) {
 				sum.GenReservedTokens += rep.GenReservedTokens
 				sum.GenKVReservedBytes += rep.GenKVReservedBytes
 				sum.GenKVUsedBytes += rep.GenKVUsedBytes
+				sum.FP16Enabled = sum.FP16Enabled || rep.FP16Enabled
+				sum.FusedLaunches += rep.FusedLaunches
+				if rep.KVBytesPerToken > sum.KVBytesPerToken {
+					sum.KVBytesPerToken = rep.KVBytesPerToken
+				}
 			}
 			if t2 := sum.TokensProcessed + sum.TokensPadded; t2 > 0 {
 				sum.PaddingWaste = float64(sum.TokensPadded) / float64(t2)

@@ -561,6 +561,14 @@ type statsResponse struct {
 	GenKVReservedBytes int64 `json:"gen_kv_reserved_bytes"`
 	GenKVUsedBytes     int64 `json:"gen_kv_used_bytes"`
 
+	// FP16 fast-path accounting: whether the binary16 route serves this
+	// replica, the cumulative fused kernel-chain launches it dispatched
+	// (encoder qk_scaled_softmax/pv_transpose_back plus decode fused
+	// attention), and the per-context-token KV cost — halved under fp16.
+	FP16Enabled     bool  `json:"fp16_enabled"`
+	FusedLaunches   int64 `json:"fused_launches"`
+	KVBytesPerToken int64 `json:"kv_bytes_per_token"`
+
 	// Paged-KV accounting (zero unless the engine runs paged): block-pool
 	// occupancy, prefix-cache reuse, and preemptions — the shared-prefix
 	// admission-density win made visible. KVBlocksShared counts blocks
@@ -679,7 +687,12 @@ func (s *Server) statsSnapshot() statsResponse {
 	if t := resp.TokensProcessed + resp.TokensPadded; t > 0 {
 		resp.PaddingWaste = float64(resp.TokensPadded) / float64(t)
 	}
+	resp.FP16Enabled = s.engine.FP16Enabled()
+	resp.FusedLaunches = s.engine.FusedLaunches()
 	if s.gen != nil {
+		resp.FP16Enabled = resp.FP16Enabled || s.gen.engine.FP16Enabled()
+		resp.FusedLaunches += s.gen.engine.FusedLaunches()
+		resp.KVBytesPerToken = s.gen.engine.KVBytesPerToken()
 		resp.GenRequests = s.gen.requests.Load()
 		resp.GenTokens = s.gen.tokensOut.Load()
 		resp.GenSteps = s.gen.stepsRun.Load()

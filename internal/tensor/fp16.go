@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // IEEE 754 binary16 conversion, used to emulate the Turbo-TC path: Tensor
 // Cores consume FP16 inputs and accumulate in FP32, so rounding operands
@@ -98,4 +101,49 @@ func (t *Tensor) RoundedF16() *Tensor {
 	c := t.Clone()
 	RoundSliceF16(c.Data())
 	return c
+}
+
+// f16DecodeTable maps every binary16 bit pattern to its float32 value. At
+// 65536 entries (256 KiB) it turns the branchy F16BitsToF32 into one load,
+// which matters on the fp16 fast path: every GEMM decodes its binary16
+// operands into fp32 scratch before accumulating.
+var (
+	f16DecodeOnce  sync.Once
+	f16DecodeTable []float32
+)
+
+func f16Table() []float32 {
+	f16DecodeOnce.Do(func() {
+		f16DecodeTable = make([]float32, 1<<16)
+		for h := 0; h < 1<<16; h++ {
+			f16DecodeTable[h] = F16BitsToF32(uint16(h))
+		}
+	})
+	return f16DecodeTable
+}
+
+// EncodeF16Slice rounds src through binary16 and stores the bit patterns in
+// dst (round-to-nearest-even, the Tensor Core load conversion). dst and src
+// must have equal length.
+func EncodeF16Slice(dst []uint16, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: EncodeF16Slice length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = F32ToF16Bits(v)
+	}
+}
+
+// DecodeF16Slice expands binary16 bit patterns into float32 values. Because
+// every binary16 value is exactly representable in float32,
+// DecodeF16Slice∘EncodeF16Slice equals RoundSliceF16 bit for bit — the
+// identity the fp16 GEMM route's bit-exactness tests pin.
+func DecodeF16Slice(dst []float32, src []uint16) {
+	if len(dst) != len(src) {
+		panic("tensor: DecodeF16Slice length mismatch")
+	}
+	table := f16Table()
+	for i, h := range src {
+		dst[i] = table[h]
+	}
 }

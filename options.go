@@ -65,6 +65,15 @@ func WithUnfused() Option { return func(c *runtimeConfig) { c.engine.Unfused = t
 // with FP32 accumulation.
 func WithTensorCore() Option { return func(c *runtimeConfig) { c.engine.TensorCore = true } }
 
+// WithFP16 switches the engine onto the binary16 fast path: fp16-storage
+// GEMMs end to end (activations and weights rounded through binary16, fp32
+// accumulation), binary16 KV storage at half the bytes per token, and the
+// fused launch chains on the packed attention core. Numerics are
+// bit-identical to WithTensorCore on the encoder; outputs stay within the
+// documented tolerance of the fp32 route (DESIGN.md §2d). fp32 remains the
+// default.
+func WithFP16() Option { return func(c *runtimeConfig) { c.engine.FP16 = true } }
+
 // WithPerRowDecode makes the generation path decode through the per-row
 // reference attention instead of the grouped ragged kernels (bit-identical
 // oracle, for debugging and benchmarks).
