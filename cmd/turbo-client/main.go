@@ -3,9 +3,16 @@
 // the client side of the §6.3 serving experiments, against a real server.
 //
 //	turbo-client -addr http://localhost:8080 -rate 50 -duration 10s
+//
+// With -gen-frac > 0 a fraction of requests become streaming /v1/generate
+// calls, and the report splits generation latency into its two phases:
+// time-to-first-token (prefill + queueing + any prefill→decode KV hand-off)
+// and the per-token decode gap — the numbers a prefill/decode-disaggregated
+// deployment moves independently.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -14,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -25,17 +33,27 @@ func main() {
 	lenLo := flag.Int("len-lo", 2, "minimum request length (characters)")
 	lenHi := flag.Int("len-hi", 100, "maximum request length (characters)")
 	deadlineMS := flag.Int("deadline-ms", 0, "per-request deadline_ms sent to the server (0 = none; expired requests come back 504)")
+	genFrac := flag.Float64("gen-frac", 0, "fraction of requests sent as streaming /v1/generate instead of /v1/classify")
+	genMaxNew := flag.Int("gen-max-new", 16, "max_new_tokens for generate requests")
 	seed := flag.Int64("seed", 7, "workload seed")
 	flag.Parse()
 
+	// turbo-serve's -addr is a bare host:port; accept the same form here.
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := &http.Client{Timeout: 120 * time.Second}
 
 	var (
 		mu        sync.Mutex
-		latencies []float64
-		rejected  int // 429: admission queue full (backpressure)
-		expired   int // 504: deadline passed before scheduling
+		latencies []float64 // classify end-to-end seconds
+		ttfts     []float64 // generate: arrival → first streamed token
+		tokGaps   []float64 // generate: mean inter-token decode gap
+		genTotals []float64 // generate end-to-end seconds
+		rejected  int       // 429: admission queue full (backpressure)
+		expired   int       // 504: deadline passed before scheduling
 		errs      int
 		wg        sync.WaitGroup
 	)
@@ -48,17 +66,34 @@ func main() {
 		time.Sleep(gap)
 		n := *lenLo + rng.Intn(*lenHi-*lenLo+1)
 		text := randomText(rng, n)
+		isGen := *genFrac > 0 && rng.Float64() < *genFrac
 		sent++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			req := map[string]interface{}{"text": text}
-			if *deadlineMS > 0 {
-				req["deadline_ms"] = *deadlineMS
+			var (
+				status   int
+				err      error
+				ttft     float64
+				tokGap   float64
+				gotToken bool
+			)
+			if isGen {
+				status, ttft, tokGap, gotToken, err = streamGenerate(client, *addr, text, *genMaxNew, start)
+			} else {
+				req := map[string]interface{}{"text": text}
+				if *deadlineMS > 0 {
+					req["deadline_ms"] = *deadlineMS
+				}
+				body, _ := json.Marshal(req)
+				var resp *http.Response
+				resp, err = client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err == nil {
+					status = resp.StatusCode
+					resp.Body.Close()
+				}
 			}
-			body, _ := json.Marshal(req)
-			resp, err := client.Post(*addr+"/v1/classify", "application/json", bytes.NewReader(body))
 			elapsed := time.Since(start).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
@@ -66,10 +101,19 @@ func main() {
 				errs++
 				return
 			}
-			defer resp.Body.Close()
-			switch resp.StatusCode {
+			switch status {
 			case http.StatusOK:
-				latencies = append(latencies, elapsed)
+				if isGen {
+					genTotals = append(genTotals, elapsed)
+					if gotToken {
+						ttfts = append(ttfts, ttft)
+						if tokGap > 0 {
+							tokGaps = append(tokGaps, tokGap)
+						}
+					}
+				} else {
+					latencies = append(latencies, elapsed)
+				}
 			case http.StatusTooManyRequests:
 				rejected++
 			case http.StatusGatewayTimeout:
@@ -81,21 +125,98 @@ func main() {
 	}
 	wg.Wait()
 
-	if len(latencies) == 0 {
+	ok := len(latencies) + len(genTotals)
+	if ok == 0 {
 		log.Fatalf("no successful responses (%d rejected, %d expired, %d errors)", rejected, expired, errs)
 	}
-	sort.Float64s(latencies)
-	var sum float64
-	for _, l := range latencies {
-		sum += l
-	}
-	pct := func(p float64) float64 { return latencies[int(p*float64(len(latencies)-1))] }
 	fmt.Printf("sent %d, ok %d, rejected(429) %d, expired(504) %d, errors %d\n",
-		sent, len(latencies), rejected, expired, errs)
-	fmt.Printf("throughput: %.1f resp/s\n", float64(len(latencies))/duration.Seconds())
-	fmt.Printf("latency ms: avg %.2f  min %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
-		1e3*sum/float64(len(latencies)), 1e3*latencies[0],
-		1e3*pct(0.50), 1e3*pct(0.95), 1e3*pct(0.99), 1e3*latencies[len(latencies)-1])
+		sent, ok, rejected, expired, errs)
+	fmt.Printf("throughput: %.1f resp/s\n", float64(ok)/duration.Seconds())
+	if len(latencies) > 0 {
+		report("classify ms", latencies)
+	}
+	if len(genTotals) > 0 {
+		report("generate total ms", genTotals)
+		if len(ttfts) > 0 {
+			report("generate TTFT ms", ttfts)
+		}
+		if len(tokGaps) > 0 {
+			report("decode tok-gap ms", tokGaps)
+		}
+	}
+}
+
+// streamGenerate posts a streaming /v1/generate request and measures the two
+// generation phases: ttft is arrival → first NDJSON token line, tokGap the
+// mean gap between consecutive token lines ((last-first)/(n-1)).
+func streamGenerate(client *http.Client, addr, text string, maxNew int, start time.Time) (status int, ttft, tokGap float64, gotToken bool, err error) {
+	body, _ := json.Marshal(map[string]interface{}{
+		"text": text, "max_new_tokens": maxNew, "stream": true,
+	})
+	resp, err := client.Post(addr+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	if status != http.StatusOK {
+		return status, 0, 0, false, nil
+	}
+	var (
+		first, last time.Time
+		tokens      int
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var chunk struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(line, &chunk) != nil {
+			continue
+		}
+		if chunk.Error != "" {
+			return http.StatusInternalServerError, 0, 0, false, nil
+		}
+		if chunk.Done {
+			continue
+		}
+		// Every non-terminal line carries exactly one streamed token.
+		now := time.Now()
+		if tokens == 0 {
+			first = now
+		}
+		last = now
+		tokens++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, false, err
+	}
+	if tokens > 0 {
+		gotToken = true
+		ttft = first.Sub(start).Seconds()
+		if tokens > 1 {
+			tokGap = last.Sub(first).Seconds() / float64(tokens-1)
+		}
+	}
+	return status, ttft, tokGap, gotToken, nil
+}
+
+func report(name string, xs []float64) {
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	pct := func(p float64) float64 { return xs[int(p*float64(len(xs)-1))] }
+	fmt.Printf("%s: avg %.2f  min %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f  (n=%d)\n",
+		name, 1e3*sum/float64(len(xs)), 1e3*xs[0],
+		1e3*pct(0.50), 1e3*pct(0.95), 1e3*pct(0.99), 1e3*xs[len(xs)-1], len(xs))
 }
 
 func randomText(rng *rand.Rand, n int) string {

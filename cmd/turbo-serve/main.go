@@ -52,6 +52,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "bounded admission queue depth per replica (submissions beyond it get 429)")
 	replicas := flag.Int("replicas", 1, "independent serving replicas behind the routed front door (1 = single server, no router)")
 	balance := flag.String("balance", "token-cost", "replica routing policy: round-robin, least-queue, or token-cost")
+	rolesFlag := flag.String("roles", "", "comma-separated replica roles (prefill,decode,mixed); when set, the replica count is len(roles) and generations hand KV off from prefill to decode replicas")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: in-flight work is aborted past this")
 	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
@@ -68,6 +69,16 @@ func main() {
 	policy, err := turbo.ParseBalancePolicy(*balance)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	roles, err := turbo.ParseReplicaRoles(*rolesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(roles) > 0 {
+		// Roles imply the replica count: one replica per role tag.
+		*replicas = len(roles)
+		log.Printf("replica roles %s: running %d replicas", *rolesFlag, *replicas)
 	}
 
 	// One option list is the whole configuration: engine knobs, serving
@@ -171,6 +182,9 @@ func main() {
 	log.Printf("cost ready; e.g. cost(len=%d, batch=1) = %v", *maxLen, cost.BatchCost(*maxLen, 1))
 
 	serveOpts := []turbo.Option{turbo.WithScheduler(turbo.NewDPScheduler(cost, *maxBatch))}
+	if len(roles) > 0 {
+		serveOpts = append(serveOpts, turbo.WithReplicaRoles(roles...))
+	}
 	if *replicas > 1 && policy == turbo.TokenCostRouting {
 		if routeCost == nil {
 			// Padded engine: the dictionary cost cannot price single

@@ -131,6 +131,37 @@ func TestBenchSmoke(t *testing.T) {
 			t.Fatalf("replica-routing output missing %q:\n%s", want, out)
 		}
 	}
+
+	// Wiring guard for the prefill/decode disaggregation harness: a tiny
+	// bimodal run must exercise both role conditions end to end — real KV
+	// hand-offs with exact in==out accounting, zero post-drain gauges,
+	// streams bit-identical to the single-replica oracle, and the
+	// simulator's two-phase generation path (the sim p99 verdict is
+	// enforced by the full-size test; a tiny trace's tail is too thin to
+	// gate on).
+	buf.Reset()
+	tinyDisagg := disaggParams{
+		hidden: 16, heads: 2, inter: 32, layers: 1,
+		n:       24,
+		shortLo: 2, shortHi: 6,
+		genPrompt: 10, genMaxNew: 8, genFrac: 0.25,
+		util: 0.7, reps: 1, seed: 11,
+	}
+	if err := runDisaggRoutingWith(&buf, tinyDisagg); err != nil {
+		t.Fatalf("disagg-routing (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"all-mixed", "prefill+decode", "hand-off accounting", "stream identity", "sim shape"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disagg-routing output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("migrated streams diverged from the single-replica oracle:\n%s", out)
+	}
+	if strings.Contains(out, "hand-off accounting: in−out delta") || strings.Contains(out, "NO MIGRATIONS") {
+		t.Fatalf("disagg-routing hand-off accounting failed:\n%s", out)
+	}
 }
 
 // TestReplicaRoutingExperiment runs the full-size routing artefact
@@ -150,6 +181,35 @@ func TestReplicaRoutingExperiment(t *testing.T) {
 	for _, want := range []string{"→ PASS", "sim shape"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("replica-routing output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDisaggRoutingExperiment runs the full-size disaggregation artefact
+// (skipped in -short CI where TestBenchSmoke covers the wiring) and
+// enforces the PR-8 acceptance claims: on the deterministic virtual-clock
+// simulator (which models per-replica serial compute — in-process live
+// replicas share one machine's cores, so their wall-clock tails are
+// informational only) roles [prefill, decode] beat all-mixed on the
+// short-classify p99 while long generations saturate the decode replica;
+// the live run must not shed load the mixed fleet absorbed; migrated
+// streams stay bit-identical to the single-replica oracle; and the
+// hand-off byte accounting reconciles exactly (in == out, zero
+// post-drain KV gauges).
+func TestDisaggRoutingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "disagg-routing")
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("migrated streams diverged from the single-replica oracle:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("disagg-routing verdict failed:\n%s", out)
+	}
+	for _, want := range []string{"hand-off accounting", "→ PASS", "sim shape"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disagg-routing output missing %q:\n%s", want, out)
 		}
 	}
 }

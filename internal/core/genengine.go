@@ -233,6 +233,28 @@ func (e *GenEngine) Close() {
 	e.Generator.BlockPool().Close()
 }
 
+// DetachSession exports a session's full state (control stream, cross
+// memory, committed KV rows — raw bits) and then closes it, releasing
+// every device byte it held here. This is the prefill side of a KV
+// hand-off: after DetachSession the snapshot is plain heap data and the
+// mid-migration window charges no replica's allocator gauges. The caller
+// must be at an iteration boundary (between Steps), like Retire.
+func (e *GenEngine) DetachSession(s *model.GenSession) (*model.SessionSnapshot, error) {
+	snap, err := s.Export()
+	s.Close()
+	return snap, err
+}
+
+// ImportSession rebuilds an exported session on this engine's device —
+// the decode side of a KV hand-off. The cross memory and every committed
+// KV row are re-charged through the same allocator paths local decode
+// uses, so this engine's gauges end exactly where they would had the
+// session run here from the start. Fails with model.ErrKVPoolExhausted
+// (holding nothing) when a paged engine cannot supply the blocks.
+func (e *GenEngine) ImportSession(snap *model.SessionSnapshot) (*model.GenSession, error) {
+	return e.Generator.ImportSession(snap)
+}
+
 // PrefillCounters reports the cumulative prefill accounting: prompts
 // encoded, encoder passes run (one per StartSessions batch), and prompt
 // tokens processed.

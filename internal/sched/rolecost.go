@@ -1,0 +1,99 @@
+package sched
+
+import "time"
+
+// PhasedRouteCostModel splits RequestCost along the boundary prefill/decode
+// disaggregation cuts a session at: the packed prefill pass (priced on
+// prompt tokens) and the per-token decode loop (priced on the decode budget
+// against its growing context). A role-tagged router prices each phase on
+// the replica that will actually run it.
+type PhasedRouteCostModel interface {
+	RouteCostModel
+	// PrefillCost prices only the packed prefill pass of promptTokens.
+	PrefillCost(promptTokens int) time.Duration
+	// DecodeCost prices only the newTokens decode steps, each attending a
+	// context that started at promptTokens.
+	DecodeCost(promptTokens, newTokens int) time.Duration
+}
+
+// PrefillCost implements PhasedRouteCostModel on the fitted token cost:
+// the three-term cost of the prompt alone — exactly the prefill term of
+// RequestCost.
+func (c *TokenCost) PrefillCost(promptTokens int) time.Duration {
+	p := float64(promptTokens)
+	return time.Duration(c.Fixed + c.PerToken*p + c.PerSqToken*p*p)
+}
+
+// DecodeCost implements PhasedRouteCostModel: the decode term of
+// RequestCost, so PrefillCost + DecodeCost == RequestCost exactly.
+func (c *TokenCost) DecodeCost(promptTokens, newTokens int) time.Duration {
+	p, n := float64(promptTokens), float64(newTokens)
+	return time.Duration(c.PerToken*n + c.PerSqToken*n*(p+n))
+}
+
+// PrefillRouteCost prices the prefill phase under any RouteCostModel:
+// models that know the phase split (PhasedRouteCostModel) answer directly,
+// everything else falls back to RequestCost(p, 0) — exact for TokenCost
+// and TokenCountCost alike, since a zero decode budget zeroes the decode
+// term.
+func PrefillRouteCost(m RouteCostModel, promptTokens int) time.Duration {
+	if pm, ok := m.(PhasedRouteCostModel); ok {
+		return pm.PrefillCost(promptTokens)
+	}
+	return m.RequestCost(promptTokens, 0)
+}
+
+// DecodeRouteCost prices the decode phase under any RouteCostModel, with
+// the complementary fallback RequestCost(p, n) − RequestCost(p, 0) so the
+// two phases always sum to the whole-session price.
+func DecodeRouteCost(m RouteCostModel, promptTokens, newTokens int) time.Duration {
+	if pm, ok := m.(PhasedRouteCostModel); ok {
+		return pm.DecodeCost(promptTokens, newTokens)
+	}
+	d := m.RequestCost(promptTokens, newTokens) - m.RequestCost(promptTokens, 0)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// MigrationCostModel prices moving a session's KV between replicas — the
+// third term in the disaggregated routing decision. It is what makes
+// hand-off a choice rather than a mandate: a short prompt's migration can
+// cost more than its decode interference, and a mixed replica wins.
+type MigrationCostModel interface {
+	// MigrationCost estimates the transfer time for bytes of KV payload.
+	MigrationCost(bytes int64) time.Duration
+}
+
+// LinkCost is the affine MigrationCostModel: a fixed per-hand-off setup
+// (RPC, allocator acquire on the destination) plus a per-byte wire cost.
+// PerByte is in nanoseconds per byte (0.05 ≈ 20 GB/s, an NVLink-class
+// interconnect; 1.0 ≈ 1 GB/s commodity Ethernet).
+type LinkCost struct {
+	Fixed   time.Duration
+	PerByte float64
+}
+
+// MigrationCost implements MigrationCostModel.
+func (c LinkCost) MigrationCost(bytes int64) time.Duration {
+	return c.Fixed + time.Duration(c.PerByte*float64(bytes))
+}
+
+// DefaultLinkCost is the migration price a role-tagged router assumes when
+// none is configured: NVLink-class bandwidth with a modest fixed hand-off
+// overhead. Deliberately non-zero so tiny prompts don't migrate for free.
+var DefaultLinkCost = LinkCost{Fixed: 100 * time.Microsecond, PerByte: 0.05}
+
+// RoleCosts bundles the per-role pricing of a disaggregated router: which
+// model prices prefill replicas, which prices decode replicas, which
+// prices whole sessions on mixed replicas, and what a hand-off costs. Any
+// nil field inherits the router's base RouteCostModel (and DefaultLinkCost
+// for Migration) — the common case is one fitted *TokenCost everywhere,
+// split per phase by PrefillRouteCost/DecodeRouteCost.
+type RoleCosts struct {
+	Prefill   RouteCostModel
+	Decode    RouteCostModel
+	Mixed     RouteCostModel
+	Migration MigrationCostModel
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -38,16 +39,24 @@ func (p BalancePolicy) String() string {
 	return fmt.Sprintf("BalancePolicy(%d)", int(p))
 }
 
+// balancePolicies lists every policy in wire order — the single source
+// ParseBalancePolicy matches against and enumerates in its error message.
+var balancePolicies = []BalancePolicy{RoundRobin, LeastQueue, TokenCostRouting}
+
 // ParseBalancePolicy maps a policy's wire name ("round-robin",
 // "least-queue", "token-cost") back to the constant — the -balance flag
-// parser.
+// parser. The error for an unknown name enumerates the valid wire names.
 func ParseBalancePolicy(s string) (BalancePolicy, error) {
-	for _, p := range []BalancePolicy{RoundRobin, LeastQueue, TokenCostRouting} {
+	for _, p := range balancePolicies {
 		if p.String() == s {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("serving: unknown balance policy %q (want round-robin, least-queue, or token-cost)", s)
+	names := make([]string, len(balancePolicies))
+	for i, p := range balancePolicies {
+		names[i] = p.String()
+	}
+	return 0, fmt.Errorf("serving: unknown balance policy %q (want one of: %s)", s, strings.Join(names, ", "))
 }
 
 // ClusterConfig configures a multi-server serving simulation. Each server
@@ -80,6 +89,25 @@ type ClusterConfig struct {
 	// many seconds after arrival instead of scheduling it (0 = none) —
 	// the cluster analogue of the serving layer's per-job deadline.
 	DeadlineSec float64
+
+	// Roles tags each simulated server prefill/decode/mixed, the off-line
+	// shape check for the live Router's disaggregation. Empty (or the
+	// wrong length) means all mixed — byte-identical to the pre-role
+	// simulator. With roles set, short (classify) requests and generation
+	// prefills route over prefill∪mixed servers and generation decode
+	// phases over decode∪mixed, so long decodes stop head-of-line-blocking
+	// short work.
+	Roles []ReplicaRole
+
+	// GenFrac is the fraction of arrivals that are two-phase generation
+	// jobs: a prefill request (length from LenSampler) followed — after
+	// MigrationDelay seconds of simulated KV hand-off — by a decode
+	// request of DecodeLen on a decode-capable server. 0 disables.
+	GenFrac float64
+	// DecodeLen is the priced length of a generation's decode phase.
+	DecodeLen int
+	// MigrationDelay models the KV transfer between phases, in seconds.
+	MigrationDelay float64
 }
 
 // ClusterResult reports one cluster run.
@@ -96,6 +124,13 @@ type ClusterResult struct {
 	// Expired counts requests dropped past their deadline before
 	// scheduling (only non-zero when DeadlineSec is set).
 	Expired int64
+	// ShortP99 is the p99 latency of short (classify) requests alone —
+	// the interference metric disaggregation targets. NaN when no short
+	// requests completed in the measure window.
+	ShortP99 float64
+	// Migrations counts generation hand-offs that crossed servers (only
+	// non-zero with Roles + GenFrac).
+	Migrations int64
 }
 
 // clusterServer is one simulated GPU + queue, the per-server core of the
@@ -118,6 +153,12 @@ type clusterServer struct {
 	stats                *simclock.LatencyStats
 	served               int64
 	expired              int64
+
+	// onDone observes each completed request — RunClusterSim installs
+	// either the plain latency recorder or, under Roles+GenFrac, the
+	// two-phase generation state machine (prefill completion re-enqueues
+	// the decode phase on a decode-capable server after MigrationDelay).
+	onDone func(s *clusterServer, r *sched.Request)
 }
 
 func (s *clusterServer) price(r *sched.Request) float64 {
@@ -178,6 +219,10 @@ func (s *clusterServer) dispatch() {
 	s.sim.After(dur, func() {
 		for _, r := range reqs {
 			s.load -= s.price(r)
+			if s.onDone != nil {
+				s.onDone(s, r)
+				continue
+			}
 			if now := s.sim.Now(); now >= s.measureLo && now <= s.measureHi {
 				s.stats.Add(now - r.Arrival)
 				s.served++
@@ -221,28 +266,93 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	}
 
 	next := 0
-	pick := func() *clusterServer {
+	pick := func(cands []*clusterServer) *clusterServer {
 		switch cfg.Policy {
 		case LeastQueue:
-			best := servers[0]
-			for _, s := range servers[1:] {
+			best := cands[0]
+			for _, s := range cands[1:] {
 				if len(s.mq) < len(best.mq) {
 					best = s
 				}
 			}
 			return best
 		case TokenCostRouting:
-			best := servers[0]
-			for _, s := range servers[1:] {
+			best := cands[0]
+			for _, s := range cands[1:] {
 				if s.load < best.load {
 					best = s
 				}
 			}
 			return best
 		default:
-			s := servers[next%len(servers)]
+			s := cands[next%len(cands)]
 			next++
 			return s
+		}
+	}
+
+	// Role candidate sets. An empty or mismatched Roles slice leaves both
+	// sets = all servers: the pre-role simulator, unchanged.
+	arrivalCands, decodeCands := servers, servers
+	rolesActive := len(cfg.Roles) == cfg.Servers
+	if rolesActive {
+		var nonDecode, decodeOK []*clusterServer
+		for i, s := range servers {
+			if cfg.Roles[i] != RoleDecode {
+				nonDecode = append(nonDecode, s)
+			}
+			if cfg.Roles[i] != RolePrefill {
+				decodeOK = append(decodeOK, s)
+			}
+		}
+		if len(nonDecode) > 0 {
+			arrivalCands = nonDecode
+		}
+		if len(decodeOK) > 0 {
+			decodeCands = decodeOK
+		}
+	}
+
+	// Completion hook: plain latency recording, plus — for generation
+	// prefills — the hand-off state machine that re-enqueues the decode
+	// phase on a decode-capable server after the migration delay.
+	shortStats := simclock.NewLatencyStats()
+	genID := map[int64]bool{}      // every generation request, both phases
+	genPrefill := map[int64]bool{} // generations whose prefill is still pending
+	var migrations int64
+	decodeLen := cfg.DecodeLen
+	if decodeLen < 1 {
+		decodeLen = 1
+	}
+	record := func(s *clusterServer, r *sched.Request) {
+		now := s.sim.Now()
+		if now < s.measureLo || now > s.measureHi {
+			return
+		}
+		s.stats.Add(now - r.Arrival)
+		s.served++
+		if !genID[r.ID] {
+			shortStats.Add(now - r.Arrival)
+		}
+	}
+	for _, s := range servers {
+		s.onDone = record
+	}
+	if cfg.GenFrac > 0 {
+		for _, s := range servers {
+			s.onDone = func(s *clusterServer, r *sched.Request) {
+				if genPrefill[r.ID] {
+					delete(genPrefill, r.ID)
+					target := pick(decodeCands)
+					if target != s {
+						migrations++
+					}
+					dec := &sched.Request{ID: r.ID, Length: decodeLen, Arrival: r.Arrival, Deadline: r.Deadline}
+					sim.After(cfg.MigrationDelay, func() { target.enqueue(dec) })
+					return
+				}
+				record(s, r)
+			}
 		}
 	}
 
@@ -259,7 +369,11 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 		if cfg.DeadlineSec > 0 {
 			deadline = sim.Now() + cfg.DeadlineSec
 		}
-		pick().enqueue(&sched.Request{ID: nextID, Length: length, Arrival: sim.Now(), Deadline: deadline})
+		if cfg.GenFrac > 0 && rng.Float64() < cfg.GenFrac {
+			genID[nextID] = true
+			genPrefill[nextID] = true
+		}
+		pick(arrivalCands).enqueue(&sched.Request{ID: nextID, Length: length, Arrival: sim.Now(), Deadline: deadline})
 	})
 	sim.Run(measureHi)
 
@@ -278,8 +392,13 @@ func RunClusterSim(cfg ClusterConfig) ClusterResult {
 	res.LatencyAvg = stats.Avg()
 	res.LatencyMax = stats.Max
 	res.LatencyP99 = stats.Percentile(0.99)
+	res.ShortP99 = shortStats.Percentile(0.99)
+	res.Migrations = migrations
 	if stats.Count == 0 {
 		res.LatencyAvg, res.LatencyMax = math.NaN(), math.NaN()
+	}
+	if shortStats.Count == 0 {
+		res.ShortP99 = math.NaN()
 	}
 	backlogLimit := cfg.Rate * 1.0
 	if backlogLimit < 20 {

@@ -1,7 +1,9 @@
 package serving
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,10 @@ type genEvent struct {
 	tok  int
 	done bool
 	err  error
+	// snap is the terminal event of a prefill-only job: the session's
+	// exported state, ready to import on a decode replica. The tokens of a
+	// prefill-only job travel inside the snapshot, never as tok events.
+	snap *model.SessionSnapshot
 }
 
 // liveGen pairs an admitted job with its decode session. sent mirrors
@@ -203,6 +209,30 @@ func (d *genDispatcher) ensureCapacity(live []*liveGen) []*liveGen {
 	return kept
 }
 
+// importSnap rebuilds a migrated session on this replica's device — the
+// decode-side admission path of a KV hand-off. In paged mode a pool
+// shortfall first scavenges retired prefix KV (sized to the snapshot's
+// committed rows) and retries once before failing the job. The router's
+// onImported hook fires only after the import actually succeeded, so
+// migration counters never count failed attempts.
+func (d *genDispatcher) importSnap(id int64, j *Job) (*liveGen, error) {
+	sess, err := d.engine.ImportSession(j.snap)
+	if errors.Is(err, model.ErrKVPoolExhausted) && d.paged {
+		need := d.stepNeed * (j.snap.KVLen/model.KVChunkTokens + 1)
+		if d.engine.Generator.ScavengePrefix(need) > 0 {
+			sess, err = d.engine.ImportSession(j.snap)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if j.onImported != nil {
+		j.onImported()
+	}
+	sess.Bind(j.Context())
+	return &liveGen{id: id, job: j, sess: sess, sent: j.emitted}, nil
+}
+
 // Run implements Dispatcher: the continuous-batching decode loop. Each
 // turn: pull newly admitted jobs from the shared queue, evict sessions
 // whose context ended, admit whatever fits, run ONE decode iteration
@@ -273,7 +303,9 @@ func (d *genDispatcher) Run(q *Queue) {
 		// (the admission hook has already dropped dead queue heads). All
 		// admitted prompts prefill as ONE packed encoder pass — a batch of
 		// ragged prefill slots between decode iterations — instead of one
-		// padded encode per request.
+		// padded encode per request. Jobs carrying a migrated snapshot skip
+		// prefill entirely: their session is imported onto this replica's
+		// device instead.
 		var ids []int64
 		var prompts [][]int
 		var budgets []int
@@ -284,6 +316,24 @@ func (d *genDispatcher) Run(q *Queue) {
 				d.sched.Evict(r.ID)
 				d.srv.countDrop(err)
 				j.fail(err)
+				continue
+			}
+			if j.snap != nil {
+				lg, err := d.importSnap(r.ID, j)
+				if err != nil {
+					d.sched.Evict(r.ID)
+					j.fail(err)
+					d.srv.completions.Add(1)
+					continue
+				}
+				// A snapshot of a born-done session (prefix replay on the
+				// prefill side) flushes its tokens here and finishes at once.
+				d.emit(lg)
+				if lg.sess.Done() {
+					d.finish(lg)
+					continue
+				}
+				live = append(live, lg)
 				continue
 			}
 			ids = append(ids, r.ID)
@@ -302,6 +352,22 @@ func (d *genDispatcher) Run(q *Queue) {
 			} else {
 				for i, j := range admitted {
 					sessions[i].Bind(j.Context())
+					if j.prefillOnly {
+						// Hand-off boundary: export everything the decode
+						// replica needs, then release every device byte the
+						// session held HERE before the migration even starts —
+						// copy-then-close, so the mid-migration window charges
+						// neither side's gauges.
+						snap, exErr := d.engine.DetachSession(sessions[i])
+						d.sched.Evict(ids[i])
+						d.srv.completions.Add(1)
+						if exErr != nil {
+							j.fail(exErr)
+							continue
+						}
+						j.events <- genEvent{snap: snap, done: true}
+						continue
+					}
 					lg := &liveGen{id: ids[i], job: j, sess: sessions[i], sent: j.emitted}
 					// A prefix-cache replay delivers its cached tokens right
 					// here; a full-answer hit is born done and never decodes.
@@ -381,6 +447,10 @@ type generateResponse struct {
 	Text         string  `json:"text"`
 	PromptTokens int     `json:"prompt_tokens"`
 	LatencyMS    float64 `json:"latency_ms"`
+	// TTFTMS is the time-to-first-token: arrival to the first decoded
+	// token reaching the serving layer — the prefill-phase latency, which
+	// under disaggregation includes the KV hand-off.
+	TTFTMS float64 `json:"ttft_ms,omitempty"`
 }
 
 // streamChunk is one NDJSON line of a streaming reply. A terminal chunk
@@ -392,7 +462,9 @@ type streamChunk struct {
 	Done      bool    `json:"done,omitempty"`
 	Tokens    int     `json:"tokens,omitempty"`
 	LatencyMS float64 `json:"latency_ms,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// TTFTMS rides the terminal chunk: arrival-to-first-token in ms.
+	TTFTMS float64 `json:"ttft_ms,omitempty"`
+	Error  string  `json:"error,omitempty"`
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -448,12 +520,26 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req gener
 		return
 	}
 	defer job.Cancel()
+	s.streamGenerate(w, r, req, job, start)
+}
 
+// streamGenerate consumes a submitted generation job's event stream into
+// the HTTP reply — aggregate JSON or NDJSON chunks — tracking
+// time-to-first-token against start (the request's ORIGINAL arrival, which
+// a hand-off carries over from the prefill replica so TTFT prices the
+// whole prefill+migration phase).
+func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, req generateRequest, job *Job, start time.Time) {
 	// A client disconnect cancels the job's context; the decode loop evicts
 	// it at the next iteration boundary instead of generating the rest of
 	// the budget into the void.
 	clientGone := r.Context().Done()
-	vocab := d.engine.DecCfg.Vocab
+	vocab := s.gen.engine.DecCfg.Vocab
+	var ttft float64
+	markFirst := func() {
+		if ttft == 0 {
+			ttft = float64(time.Since(start)) / 1e6
+		}
+	}
 	if !req.Stream {
 		var toks []int
 		for {
@@ -469,9 +555,11 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req gener
 						Text:         Detokenize(toks, vocab),
 						PromptTokens: len(job.Tokens),
 						LatencyMS:    float64(time.Since(start)) / 1e6,
+						TTFTMS:       ttft,
 					})
 					return
 				}
+				markFirst()
 				toks = append(toks, ev.tok)
 			case <-clientGone:
 				job.Cancel()
@@ -493,9 +581,10 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req gener
 				return
 			}
 			if ev.done {
-				_ = enc.Encode(streamChunk{Done: true, Tokens: n, LatencyMS: float64(time.Since(start)) / 1e6})
+				_ = enc.Encode(streamChunk{Done: true, Tokens: n, LatencyMS: float64(time.Since(start)) / 1e6, TTFTMS: ttft})
 				return
 			}
+			markFirst()
 			n++
 			if err := enc.Encode(streamChunk{Token: ev.tok, Text: Detokenize([]int{ev.tok}, vocab)}); err != nil {
 				job.Cancel()
@@ -509,4 +598,78 @@ func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req gener
 			return
 		}
 	}
+}
+
+// runPrefill runs ONLY the prefill phase of a generate request on this
+// server and returns the session's exported snapshot — the first half of a
+// role-tagged hand-off. The job flows through the normal admission queue
+// and scheduler (so prefill replicas still gate and prioritise), but the
+// dispatcher exports and closes the session at the prefill boundary
+// instead of decoding. On return this server holds no device memory for
+// the session.
+func (s *Server) runPrefill(ctx context.Context, req generateRequest, start time.Time) (*model.SessionSnapshot, error) {
+	if s.gen == nil {
+		return nil, ErrServerClosed
+	}
+	d := s.gen
+	maxNew := s.genBudget(req.MaxNewTokens)
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	job, err := s.submit(JobGenerate, Tokenize(req.Text, d.engine.Cfg.Vocab), maxNew, req.Priority, deadline, ctx,
+		func(j *Job) { j.prefillOnly = true })
+	if err != nil {
+		return nil, err
+	}
+	defer job.Cancel()
+	for {
+		select {
+		case ev := <-job.events:
+			if ev.err != nil {
+				return nil, ev.err
+			}
+			if ev.snap != nil {
+				return ev.snap, nil
+			}
+			if ev.done {
+				return nil, ErrServerClosed // drained before export; caller maps to 503
+			}
+		case <-ctx.Done():
+			job.Cancel()
+			return nil, context.Canceled
+		}
+	}
+}
+
+// serveHandoff finishes a migrated generation on this server — the second
+// half of a hand-off. The snapshot is attached to a normal generation job
+// (admission still prices prompt+budget, so decode replicas gate and
+// preempt exactly like local sessions); at admission the dispatcher
+// imports it instead of prefilling, fires onImported for the router's
+// migration accounting, and decode streams from here on. start is the
+// request's original arrival on the router, so latency and TTFT span both
+// phases.
+func (s *Server) serveHandoff(w http.ResponseWriter, r *http.Request, req generateRequest, snap *model.SessionSnapshot, start time.Time, onImported func()) {
+	if s.gen == nil {
+		httpError(w, http.StatusServiceUnavailable, "generation not enabled on this server")
+		return
+	}
+	d := s.gen
+	d.requests.Add(1)
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	job, err := s.submit(JobGenerate, Tokenize(req.Text, d.engine.Cfg.Vocab), snap.MaxNew, req.Priority, deadline, r.Context(),
+		func(j *Job) {
+			j.snap = snap
+			j.onImported = onImported
+		})
+	if err != nil {
+		s.writeJobError(w, err)
+		return
+	}
+	defer job.Cancel()
+	s.streamGenerate(w, r, req, job, start)
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/model"
 )
 
 // Sentinel errors of the job lifecycle. Handlers map them onto HTTP status
@@ -75,6 +77,23 @@ type Job struct {
 	// budget plus the terminal event, so the decode loop never blocks on a
 	// slow or vanished client).
 	events chan genEvent
+
+	// prefillOnly marks a generation job that stops at the packed prefill
+	// pass: instead of decoding, the dispatcher exports the session's KV
+	// snapshot, closes the session (releasing every device byte here), and
+	// delivers the snapshot as the terminal event — the prefill half of a
+	// role-tagged hand-off.
+	prefillOnly bool
+	// snap, when set, is an exported session this job resumes: at admission
+	// the dispatcher imports it instead of running StartSessions, then
+	// decodes normally — the decode half of a hand-off. Tokens still
+	// carries the prompt (for admission pricing and prefix donation).
+	snap *model.SessionSnapshot
+	// onImported fires exactly once, from the dispatcher goroutine, when
+	// snap has been imported onto this replica's device — the router's
+	// migration-accounting hook (kv_migrations / kv_migrated_bytes count
+	// completed imports, never attempts).
+	onImported func()
 }
 
 // jobResult is a classify job's outcome.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -39,6 +40,20 @@ type Router struct {
 	cost     sched.RouteCostModel
 	rr       atomic.Int64 // round-robin cursor
 
+	// Role machinery (nil/empty without WithReplicaRoles): the candidate
+	// sets by role, and the per-phase pricing of the disaggregated routing
+	// decision — min(P.load + prefill + migration + D.load + decode,
+	// M.load + full).
+	rolesSet bool
+	prefills []*replica // RolePrefill replicas
+	decodes  []*replica // RoleDecode replicas
+	mixed    []*replica // RoleMixed replicas
+
+	prefillCost sched.RouteCostModel
+	decodeCost  sched.RouteCostModel
+	mixedCost   sched.RouteCostModel
+	migration   sched.MigrationCostModel
+
 	// pickMu serializes load-reading pick + charge for the load-aware
 	// policies: a burst of concurrent arrivals would otherwise all read the
 	// same gauges before any charge lands and pile onto one replica —
@@ -51,11 +66,22 @@ type Router struct {
 // replica wraps one Server with the router-side load accounting the
 // balancing policies read.
 type replica struct {
-	srv *Server
+	srv  *Server
+	role ReplicaRole
 
 	routed   atomic.Int64 // jobs ever routed here
 	inflight atomic.Int64 // routed jobs not yet resolved
 	loadNS   atomic.Int64 // priced cost (ns) of unresolved jobs
+
+	// Hand-off accounting. prefillQ gauges generations routed here for
+	// prefill and not yet handed off; the migration counters move only when
+	// an import actually completes on the decode side (the onImported hook),
+	// so out-bytes on one replica always equal in-bytes on another.
+	prefillQ         atomic.Int64
+	migrationsIn     atomic.Int64
+	migrationsOut    atomic.Int64
+	migratedInBytes  atomic.Int64
+	migratedOutBytes atomic.Int64
 }
 
 // RouterConfig configures NewRouter.
@@ -67,6 +93,20 @@ type RouterConfig struct {
 	// token). A warm-up-fitted sched.TokenCost sharpens the estimate from
 	// token counts to device time. Other policies ignore it.
 	Cost sched.RouteCostModel
+	// Roles tags each replica prefill/decode/mixed, one entry per server
+	// in order (empty = all mixed, the pre-disaggregation behaviour). With
+	// roles set, classify goes to non-decode replicas under the configured
+	// policy, and every generation is routed by PRICED load regardless of
+	// policy: the cheaper of the best mixed replica (whole session) and
+	// the best prefill+decode pair (phase costs plus the migration price),
+	// so short prompts stay on a mixed replica when hand-off would cost
+	// more than it saves.
+	Roles []ReplicaRole
+	// RoleCosts optionally prices each phase with its own model; nil
+	// fields inherit Cost (split by sched.PrefillRouteCost/DecodeRouteCost)
+	// and sched.DefaultLinkCost for the migration term. Ignored without
+	// Roles.
+	RoleCosts sched.RoleCosts
 }
 
 // NewRouter builds the multi-replica front door over already-started
@@ -87,9 +127,42 @@ func NewRouter(cfg RouterConfig, servers ...*Server) (*Router, error) {
 	if cost == nil {
 		cost = sched.TokenCountCost{}
 	}
-	rt := &Router{policy: cfg.Policy, cost: cost}
-	for _, s := range servers {
-		rt.replicas = append(rt.replicas, &replica{srv: s})
+	if len(cfg.Roles) > 0 && len(cfg.Roles) != len(servers) {
+		return nil, fmt.Errorf("serving: %d replica roles for %d replicas (want one role per replica, or none)",
+			len(cfg.Roles), len(servers))
+	}
+	rt := &Router{policy: cfg.Policy, cost: cost, rolesSet: len(cfg.Roles) > 0}
+	for i, s := range servers {
+		rep := &replica{srv: s}
+		if rt.rolesSet {
+			rep.role = cfg.Roles[i]
+		}
+		rt.replicas = append(rt.replicas, rep)
+		switch rep.role {
+		case RolePrefill:
+			rt.prefills = append(rt.prefills, rep)
+		case RoleDecode:
+			rt.decodes = append(rt.decodes, rep)
+		default:
+			rt.mixed = append(rt.mixed, rep)
+		}
+	}
+	if rt.rolesSet && len(rt.mixed) == 0 && (len(rt.prefills) == 0 || len(rt.decodes) == 0) {
+		return nil, fmt.Errorf("serving: roles %v can serve no generation end-to-end (want a mixed replica, or at least one prefill and one decode)", cfg.Roles)
+	}
+	rt.prefillCost, rt.decodeCost, rt.mixedCost = cost, cost, cost
+	if cfg.RoleCosts.Prefill != nil {
+		rt.prefillCost = cfg.RoleCosts.Prefill
+	}
+	if cfg.RoleCosts.Decode != nil {
+		rt.decodeCost = cfg.RoleCosts.Decode
+	}
+	if cfg.RoleCosts.Mixed != nil {
+		rt.mixedCost = cfg.RoleCosts.Mixed
+	}
+	rt.migration = cfg.RoleCosts.Migration
+	if rt.migration == nil {
+		rt.migration = sched.DefaultLinkCost
 	}
 	return rt, nil
 }
@@ -105,7 +178,13 @@ func (rt *Router) Policy() BalancePolicy { return rt.policy }
 // resolves (response written, stream closed, or error returned — however
 // it ends). promptTokens and newTokens size the token-cost price.
 func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
-	price := int64(rt.cost.RequestCost(promptTokens, newTokens))
+	return rt.routeAmong(rt.replicas, int64(rt.cost.RequestCost(promptTokens, newTokens)))
+}
+
+// routeAmong applies the balancing policy over an explicit candidate set —
+// all replicas for a role-less router, the non-decode replicas for
+// classify under roles — and charges the pick with price.
+func (rt *Router) routeAmong(cands []*replica, price int64) (*replica, func()) {
 	var rep *replica
 	switch rt.policy {
 	case LeastQueue, TokenCostRouting:
@@ -113,19 +192,19 @@ func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
 		// each other's placements — a burst would otherwise read identical
 		// gauges and pile onto one replica.
 		rt.pickMu.Lock()
-		rep = rt.replicas[0]
+		rep = cands[0]
 		if rt.policy == LeastQueue {
 			// Fewest unresolved jobs: queued + executing on that replica,
 			// the live analogue of the simulator's shortest-message-queue.
 			best := rep.inflight.Load()
-			for _, r := range rt.replicas[1:] {
+			for _, r := range cands[1:] {
 				if n := r.inflight.Load(); n < best {
 					rep, best = r, n
 				}
 			}
 		} else {
 			best := rep.loadNS.Load()
-			for _, r := range rt.replicas[1:] {
+			for _, r := range cands[1:] {
 				if n := r.loadNS.Load(); n < best {
 					rep, best = r, n
 				}
@@ -135,7 +214,7 @@ func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
 		rep.loadNS.Add(price)
 		rt.pickMu.Unlock()
 	default: // RoundRobin
-		rep = rt.replicas[int(rt.rr.Add(1)-1)%len(rt.replicas)]
+		rep = cands[int(rt.rr.Add(1)-1)%len(cands)]
 		rep.inflight.Add(1)
 		rep.loadNS.Add(price)
 	}
@@ -143,6 +222,122 @@ func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
 	return rep, func() {
 		rep.inflight.Add(-1)
 		rep.loadNS.Add(-price)
+	}
+}
+
+// classifyCandidates is where classify (and other prefill-shaped whole
+// requests) may run: everything except decode-only replicas once roles are
+// set, all replicas otherwise.
+func (rt *Router) classifyCandidates() []*replica {
+	if !rt.rolesSet || len(rt.decodes) == len(rt.replicas) {
+		return rt.replicas
+	}
+	cands := make([]*replica, 0, len(rt.replicas))
+	for _, r := range rt.replicas {
+		if r.role != RoleDecode {
+			cands = append(cands, r)
+		}
+	}
+	return cands
+}
+
+// genPlan is one generation's routing decision under roles: either a mixed
+// replica serving the whole session, or a prefill+decode pair with the
+// hand-off in between. Whichever side is chosen, its release functions
+// refund the routing charges when the phase resolves.
+type genPlan struct {
+	mixed        *replica
+	releaseMixed func()
+
+	prefill, decode               *replica
+	releasePrefill, releaseDecode func()
+	estimatedBytes                int64
+}
+
+// handoffBytesEstimate predicts the KV payload of migrating a session
+// right after prefill: at that boundary the self-KV is empty and the
+// cross-attention memory — promptTokens rows across every layer's K and V
+// — is the whole transfer, which is exactly promptTokens × KVBytesPerToken.
+func (rt *Router) handoffBytesEstimate(promptTokens int) int64 {
+	srv := rt.replicas[0].srv
+	if srv.gen == nil {
+		return 0
+	}
+	return int64(promptTokens) * srv.gen.engine.KVBytesPerToken()
+}
+
+// planGenerate routes one generation under roles. All loads are read and
+// all charges landed under pickMu, so concurrent plans observe each other.
+// Generations under roles always route by priced load — the disaggregation
+// decision is a cost comparison, whatever policy classify uses:
+//
+//	min( load(P) + prefill(p) + migration(bytes) + load(D) + decode(p,n),
+//	     load(M) + full(p,n) )
+//
+// with ties going to the mixed replica (no hand-off when it isn't
+// strictly cheaper).
+func (rt *Router) planGenerate(promptTokens, budget int) genPlan {
+	prefillPrice := int64(sched.PrefillRouteCost(rt.prefillCost, promptTokens))
+	decodePrice := int64(sched.DecodeRouteCost(rt.decodeCost, promptTokens, budget))
+	fullPrice := int64(rt.mixedCost.RequestCost(promptTokens, budget))
+	migBytes := rt.handoffBytesEstimate(promptTokens)
+	migPrice := int64(rt.migration.MigrationCost(migBytes))
+
+	rt.pickMu.Lock()
+	defer rt.pickMu.Unlock()
+	minLoad := func(cands []*replica) *replica {
+		best := cands[0]
+		bl := best.loadNS.Load()
+		for _, r := range cands[1:] {
+			if n := r.loadNS.Load(); n < bl {
+				best, bl = r, n
+			}
+		}
+		return best
+	}
+	var m, p, d *replica
+	if len(rt.mixed) > 0 {
+		m = minLoad(rt.mixed)
+	}
+	if len(rt.prefills) > 0 && len(rt.decodes) > 0 {
+		p, d = minLoad(rt.prefills), minLoad(rt.decodes)
+	}
+	useMixed := p == nil
+	if m != nil && p != nil {
+		useMixed = m.loadNS.Load()+fullPrice <= p.loadNS.Load()+prefillPrice+migPrice+d.loadNS.Load()+decodePrice
+	}
+	charge := func(r *replica, price int64) {
+		r.inflight.Add(1)
+		r.loadNS.Add(price)
+		r.routed.Add(1)
+	}
+	if useMixed {
+		charge(m, fullPrice)
+		return genPlan{mixed: m, releaseMixed: func() {
+			m.inflight.Add(-1)
+			m.loadNS.Add(-fullPrice)
+		}}
+	}
+	// The migration price is charged to the decode side: that is where the
+	// transferred KV lands and where the charge must suppress further
+	// routing until the import resolves.
+	charge(p, prefillPrice)
+	p.prefillQ.Add(1)
+	dPrice := decodePrice + migPrice
+	charge(d, dPrice)
+	return genPlan{
+		prefill: p,
+		decode:  d,
+		releasePrefill: func() {
+			p.inflight.Add(-1)
+			p.loadNS.Add(-prefillPrice)
+			p.prefillQ.Add(-1)
+		},
+		releaseDecode: func() {
+			d.inflight.Add(-1)
+			d.loadNS.Add(-dPrice)
+		},
+		estimatedBytes: migBytes,
 	}
 }
 
@@ -167,8 +362,9 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The demo tokenizer is byte-level, so the prompt token count is known
-	// before any replica is involved.
-	rep, release := rt.route(len(req.Text), 0)
+	// before any replica is involved. Under roles, classify — prefill-shaped
+	// work — never lands on a decode replica.
+	rep, release := rt.routeAmong(rt.classifyCandidates(), int64(rt.cost.RequestCost(len(req.Text), 0)))
 	defer release()
 	rep.srv.serveClassify(w, r, req)
 }
@@ -185,19 +381,65 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Price prompt + resolved decode budget (replicas are identical, so
 	// replica 0's defaults resolve the budget for all of them).
-	rep, release := rt.route(len(req.Text), rt.replicas[0].srv.genBudget(req.MaxNewTokens))
-	defer release()
-	rep.srv.serveGenerate(w, r, req)
+	budget := rt.replicas[0].srv.genBudget(req.MaxNewTokens)
+	if !rt.rolesSet || budget == 0 {
+		rep, release := rt.route(len(req.Text), budget)
+		defer release()
+		rep.srv.serveGenerate(w, r, req)
+		return
+	}
+
+	start := time.Now()
+	plan := rt.planGenerate(len(req.Text), budget)
+	if plan.mixed != nil {
+		defer plan.releaseMixed()
+		plan.mixed.srv.serveGenerate(w, r, req)
+		return
+	}
+
+	// Disaggregated path: prefill on P, hand the exported KV to D, stream
+	// decode from there. The prefill charge is refunded the moment P holds
+	// nothing; the decode+migration charge stays until the stream resolves.
+	snap, err := plan.prefill.srv.runPrefill(r.Context(), req, start)
+	plan.releasePrefill()
+	if err != nil {
+		plan.releaseDecode()
+		plan.prefill.srv.writeJobError(w, err)
+		return
+	}
+	defer plan.releaseDecode()
+	p, d := plan.prefill, plan.decode
+	onImported := func() {
+		// Fires from D's dispatcher once the import actually landed — the
+		// only place migration counters move, so out-bytes on P always
+		// reconcile with in-bytes on D and with the device gauges the
+		// import charged.
+		bytes := snap.Bytes()
+		p.migrationsOut.Add(1)
+		p.migratedOutBytes.Add(bytes)
+		d.migrationsIn.Add(1)
+		d.migratedInBytes.Add(bytes)
+	}
+	d.srv.serveHandoff(w, r, req, snap, start, onImported)
 }
 
 // ReplicaStats is one replica's row in the aggregated stats reply: the
 // router-side routing gauges plus the replica's full single-server
 // counters inlined.
 type ReplicaStats struct {
-	Replica    int   `json:"replica"`
-	JobsRouted int64 `json:"jobs_routed"`
-	InFlight   int64 `json:"in_flight"`
-	LoadNS     int64 `json:"load_ns"`
+	Replica    int    `json:"replica"`
+	Role       string `json:"role"`
+	JobsRouted int64  `json:"jobs_routed"`
+	InFlight   int64  `json:"in_flight"`
+	LoadNS     int64  `json:"load_ns"`
+	// Hand-off accounting: migrations in/out count completed KV imports
+	// (never attempts), with their byte totals; PrefillQueueDepth gauges
+	// generations routed here for prefill whose hand-off hasn't resolved.
+	KVMigrationsIn     int64 `json:"kv_migrations_in"`
+	KVMigrationsOut    int64 `json:"kv_migrations_out"`
+	KVMigratedInBytes  int64 `json:"kv_migrated_in_bytes"`
+	KVMigratedOutBytes int64 `json:"kv_migrated_out_bytes"`
+	PrefillQueueDepth  int64 `json:"prefill_queue_depth"`
 	statsResponse
 }
 
@@ -208,6 +450,12 @@ type ReplicaStats struct {
 type RouterStats struct {
 	Policy   string `json:"policy"`
 	Replicas int    `json:"replica_count"`
+	// Aggregate hand-off accounting: KVMigrations/KVMigratedBytes sum the
+	// completed imports across replicas (each migration counted once, on
+	// its import), PrefillQueueDepth the instantaneous pre-hand-off gauge.
+	KVMigrations      int64 `json:"kv_migrations"`
+	KVMigratedBytes   int64 `json:"kv_migrated_bytes"`
+	PrefillQueueDepth int64 `json:"prefill_queue_depth"`
 	statsResponse
 	PerReplica []ReplicaStats `json:"per_replica"`
 }
@@ -274,12 +522,21 @@ func (rt *Router) Stats() RouterStats {
 	for i, rep := range rt.replicas {
 		parts[i] = rep.srv.statsSnapshot()
 		resp.PerReplica[i] = ReplicaStats{
-			Replica:       i,
-			JobsRouted:    rep.routed.Load(),
-			InFlight:      rep.inflight.Load(),
-			LoadNS:        rep.loadNS.Load(),
-			statsResponse: parts[i],
+			Replica:            i,
+			Role:               rep.role.String(),
+			JobsRouted:         rep.routed.Load(),
+			InFlight:           rep.inflight.Load(),
+			LoadNS:             rep.loadNS.Load(),
+			KVMigrationsIn:     rep.migrationsIn.Load(),
+			KVMigrationsOut:    rep.migrationsOut.Load(),
+			KVMigratedInBytes:  rep.migratedInBytes.Load(),
+			KVMigratedOutBytes: rep.migratedOutBytes.Load(),
+			PrefillQueueDepth:  rep.prefillQ.Load(),
+			statsResponse:      parts[i],
 		}
+		resp.KVMigrations += rep.migrationsIn.Load()
+		resp.KVMigratedBytes += rep.migratedInBytes.Load()
+		resp.PrefillQueueDepth += rep.prefillQ.Load()
 	}
 	resp.statsResponse = aggregateStats(parts)
 	return resp

@@ -428,8 +428,11 @@ func (d *classifyDispatcher) runBatch(b sched.Batch) {
 }
 
 // submit builds a job from an accepted HTTP request and offers it to the
-// shared admission queue, mapping refusals to their lifecycle errors.
-func (s *Server) submit(kind JobKind, tokens []int, maxNew, priority int, deadline time.Time, parent context.Context) (*Job, error) {
+// shared admission queue, mapping refusals to their lifecycle errors. The
+// optional configure hooks run on the job before it is offered — the
+// hand-off paths use them to set prefill-only / snapshot state while the
+// job is still exclusively owned by this goroutine.
+func (s *Server) submit(kind JobKind, tokens []int, maxNew, priority int, deadline time.Time, parent context.Context, configure ...func(*Job)) (*Job, error) {
 	j := newJob(s.nextID.Add(1), kind, tokens, parent, deadline)
 	j.MaxNew = maxNew
 	j.Priority = priority
@@ -438,6 +441,9 @@ func (s *Server) submit(kind JobKind, tokens []int, maxNew, priority int, deadli
 		j.result = make(chan jobResult, 1)
 	case JobGenerate:
 		j.events = make(chan genEvent, maxNew+2)
+	}
+	for _, fn := range configure {
+		fn(j)
 	}
 	if err := s.queue.Submit(j); err != nil {
 		j.Cancel()

@@ -28,6 +28,8 @@ type runtimeConfig struct {
 	replicas  int
 	policy    serving.BalancePolicy
 	routeCost sched.RouteCostModel
+	roles     []serving.ReplicaRole
+	roleCosts sched.RoleCosts
 
 	// Generation.
 	genDecCfg        *Config
@@ -159,6 +161,26 @@ func WithBalancePolicy(p BalancePolicy) Option { return func(c *runtimeConfig) {
 // (sched.TokenCountCost).
 func WithRouteCost(m RouteCostModel) Option { return func(c *runtimeConfig) { c.routeCost = m } }
 
+// WithReplicaRoles tags each replica of a replicated front door for
+// prefill/decode disaggregation: one role per replica, in order. A
+// generation then prefills on a prefill replica, its KV is exported,
+// migrated, and imported byte-for-byte onto a decode replica, and the
+// stream decodes there — unless a mixed replica is cheaper once the
+// migration transfer is priced in (short prompts stay put). Classify
+// traffic avoids decode replicas. Requires WithReplicas(n) with n ==
+// len(roles); the role set must contain a mixed replica or at least one
+// prefill and one decode.
+func WithReplicaRoles(roles ...ReplicaRole) Option {
+	return func(c *runtimeConfig) { c.roles = roles }
+}
+
+// WithRoleCosts overrides the per-phase pricing of a role-tagged front
+// door (see sched.RoleCosts); nil fields inherit the WithRouteCost model,
+// split per phase. Only meaningful with WithReplicaRoles.
+func WithRoleCosts(rc RoleCosts) Option {
+	return func(c *runtimeConfig) { c.roleCosts = rc }
+}
+
 // WithSchedulerFactory builds one batch scheduler per replica — required
 // instead of WithScheduler when the scheduler is stateful and must not be
 // shared across replicas. (The built-in schedulers are stateless, so
@@ -264,6 +286,12 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
+	if n := len(rc.roles); n > 0 && n != replicas {
+		return nil, fmt.Errorf("turbo: WithReplicaRoles got %d roles for %d replicas (pass WithReplicas(%d), one role per replica)", n, replicas, n)
+	}
+	if len(rc.roles) > 0 && replicas == 1 {
+		return nil, fmt.Errorf("turbo: WithReplicaRoles needs WithReplicas(n) with n > 1 — one replica has nothing to hand off to")
+	}
 	servers := make([]*serving.Server, 0, replicas)
 	fail := func(err error) (Service, error) {
 		for _, s := range servers {
@@ -314,7 +342,12 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 		// Single replica keeps the PR-4 fast path: no router in front.
 		return servers[0], nil
 	}
-	router, err := serving.NewRouter(serving.RouterConfig{Policy: rc.policy, Cost: rc.routeCost}, servers...)
+	router, err := serving.NewRouter(serving.RouterConfig{
+		Policy:    rc.policy,
+		Cost:      rc.routeCost,
+		Roles:     rc.roles,
+		RoleCosts: rc.roleCosts,
+	}, servers...)
 	if err != nil {
 		return fail(err)
 	}

@@ -201,6 +201,15 @@ type (
 	RouteCostModel = sched.RouteCostModel
 	// TokenCountCost is the default RouteCostModel: one unit per token.
 	TokenCountCost = sched.TokenCountCost
+	// ReplicaRole tags a replica prefill/decode/mixed for disaggregated
+	// routing (WithReplicaRoles).
+	ReplicaRole = serving.ReplicaRole
+	// RoleCosts bundles per-phase route pricing for a role-tagged Router
+	// (WithRoleCosts); nil fields inherit the base RouteCostModel.
+	RoleCosts = sched.RoleCosts
+	// LinkCost is the affine migration cost model: fixed hand-off overhead
+	// plus ns-per-byte transfer.
+	LinkCost = sched.LinkCost
 )
 
 // Balancing policies for WithBalancePolicy / RouterConfig.
@@ -215,9 +224,28 @@ const (
 	TokenCostRouting = serving.TokenCostRouting
 )
 
+// Replica roles for WithReplicaRoles / RouterConfig.Roles.
+const (
+	// RoleMixed serves whole sessions — prefill and decode on one replica.
+	RoleMixed = serving.RoleMixed
+	// RolePrefill runs packed prefill (and classify) and hands sessions
+	// off before decode.
+	RolePrefill = serving.RolePrefill
+	// RoleDecode receives migrated KV and runs the ragged decode loop.
+	RoleDecode = serving.RoleDecode
+)
+
 // ParseBalancePolicy maps "round-robin", "least-queue", or "token-cost"
 // to its BalancePolicy (the -balance flag parser).
 func ParseBalancePolicy(s string) (BalancePolicy, error) { return serving.ParseBalancePolicy(s) }
+
+// ParseReplicaRole maps "mixed", "prefill", or "decode" to its
+// ReplicaRole (one element of the -roles flag).
+func ParseReplicaRole(s string) (ReplicaRole, error) { return serving.ParseReplicaRole(s) }
+
+// ParseReplicaRoles parses a comma-separated role list like
+// "prefill,decode,mixed" — the -roles flag parser, one entry per replica.
+func ParseReplicaRoles(s string) ([]ReplicaRole, error) { return serving.ParseReplicaRoles(s) }
 
 // NewRouter builds the multi-replica front door over identically
 // configured, already-started servers. Most callers should use

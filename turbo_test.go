@@ -241,7 +241,7 @@ func TestFacadeServeReplicated(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := turbo.Experiments()
-	if len(ids) != 25 { // 16 paper artefacts + gen-serving + var-length + gen-decode + replica-routing + prefix-cache + fp16-path + 3 extras
+	if len(ids) != 26 { // 16 paper artefacts + gen-serving + var-length + gen-decode + replica-routing + prefix-cache + fp16-path + disagg-routing + 3 extras
 		t.Fatalf("experiments: %v", ids)
 	}
 	var buf bytes.Buffer
