@@ -53,6 +53,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "independent serving replicas behind the routed front door (1 = single server, no router)")
 	balance := flag.String("balance", "token-cost", "replica routing policy: round-robin, least-queue, or token-cost")
 	rolesFlag := flag.String("roles", "", "comma-separated replica roles (prefill,decode,mixed); when set, the replica count is len(roles) and generations hand KV off from prefill to decode replicas")
+	autoMin := flag.Int("autoscale-min", 0, "elastic fleet lower bound; with -autoscale-max it replaces -replicas and an autoscale control loop sizes the fleet (0 disables)")
+	autoMax := flag.Int("autoscale-max", 0, "elastic fleet upper bound (see -autoscale-min)")
+	autoTick := flag.Duration("autoscale-tick", 0, "autoscale control-loop sampling period (0 = default 250ms, the drain-meter window)")
+	sloBudget := flag.Int("slo-budget", 0, "deadline misses a priority class may accumulate inside -slo-window before further jobs of that class are shed at admission with 504 (0 disables)")
+	sloWindow := flag.Duration("slo-window", 0, "sliding window -slo-budget is counted over (0 = default 5s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: in-flight work is aborted past this")
 	generate := flag.Bool("generate", true, "enable the /v1/generate continuous-batching path")
 	genMaxBatch := flag.Int("gen-max-batch", 8, "max concurrent decode sequences")
@@ -91,8 +96,21 @@ func main() {
 		turbo.WithCache(*cacheSize),
 		turbo.WithBatchWindow(*batchWindow),
 		turbo.WithQueueDepth(*queueDepth),
-		turbo.WithReplicas(*replicas),
 		turbo.WithBalancePolicy(policy),
+	}
+	elastic := *autoMin != 0 || *autoMax != 0
+	if elastic {
+		// The control loop sizes the fleet between the bounds; -replicas
+		// does not apply (turbo.Serve refuses the combination).
+		opts = append(opts, turbo.WithAutoscale(*autoMin, *autoMax))
+		if *autoTick > 0 {
+			opts = append(opts, turbo.WithAutoscaleTick(*autoTick))
+		}
+	} else {
+		opts = append(opts, turbo.WithReplicas(*replicas))
+	}
+	if *sloBudget > 0 {
+		opts = append(opts, turbo.WithSLOBudget(*sloBudget, *sloWindow))
 	}
 	if *packed {
 		opts = append(opts, turbo.WithPacked())
@@ -185,7 +203,7 @@ func main() {
 	if len(roles) > 0 {
 		serveOpts = append(serveOpts, turbo.WithReplicaRoles(roles...))
 	}
-	if *replicas > 1 && policy == turbo.TokenCostRouting {
+	if (*replicas > 1 || elastic) && policy == turbo.TokenCostRouting {
 		if routeCost == nil {
 			// Padded engine: the dictionary cost cannot price single
 			// requests for routing, so fit the token form just for the
@@ -199,7 +217,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *replicas > 1 {
+	if elastic {
+		log.Printf("autoscaling %d..%d replicas, policy %s (shed budget: %d misses / %v)",
+			*autoMin, *autoMax, policy, *sloBudget, *sloWindow)
+	} else if *replicas > 1 {
 		log.Printf("routing over %d replicas, policy %s", *replicas, policy)
 	}
 	if *generate {

@@ -46,7 +46,7 @@ func artefactOrder(id string) int {
 		"fig9": 7, "fig10": 8, "fig11": 9, "fig12": 10, "fig13": 11,
 		"fig14": 12, "fig15": 13, "table4": 14, "fig16": 15, "table5": 16,
 		"gen-serving": 17, "var-length": 18, "gen-decode": 19, "replica-routing": 20,
-		"prefix-cache": 21, "fp16-path": 22, "disagg-routing": 23,
+		"prefix-cache": 21, "fp16-path": 22, "disagg-routing": 23, "autoscale": 24,
 	}
 	if o, ok := order[id]; ok {
 		return o

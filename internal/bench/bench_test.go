@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5",
 		"gen-serving", "var-length", "gen-decode", "replica-routing",
-		"prefix-cache", "fp16-path", "disagg-routing",
+		"prefix-cache", "fp16-path", "disagg-routing", "autoscale",
 		"extra-allocstall", "extra-chunkablation", "extra-cluster",
 	}
 	all := All()

@@ -162,6 +162,38 @@ func TestBenchSmoke(t *testing.T) {
 	if strings.Contains(out, "hand-off accounting: in−out delta") || strings.Contains(out, "NO MIGRATIONS") {
 		t.Fatalf("disagg-routing hand-off accounting failed:\n%s", out)
 	}
+
+	// Wiring guard for the elastic autoscaling harness: a tiny flash-crowd
+	// trace must drive the hysteresis controller end to end — scale-ups,
+	// drain-then-retire scale-downs, and EXACT job accounting on every
+	// fleet (the Pareto headline and economy verdicts are enforced by the
+	// full-size test; a tiny trace's tail is too thin to gate on).
+	buf.Reset()
+	tinyAuto := autoscaleParams{
+		min: 1, max: 2,
+		base: 100, peak: 1200,
+		crowdAt: 3, rampUp: 1, hold: 3, rampDown: 1,
+		duration:    10,
+		deadlineSec: 0.5,
+		lenLo:       2, lenHi: 20,
+		maxBatch: 8,
+		seed:     7,
+	}
+	if err := runAutoscaleWith(&buf, tinyAuto); err != nil {
+		t.Fatalf("autoscale (tiny): %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{"auto-1..2", "fixed-1", "fixed-2", "accounting", "elasticity", "headline", "economy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("autoscale output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "jobs lost") {
+		t.Fatalf("autoscale lost jobs across scale events:\n%s", out)
+	}
+	if !strings.Contains(out, "accounting: arrivals == served + expired on every fleet, 0 lost → PASS") {
+		t.Fatalf("autoscale accounting did not reconcile:\n%s", out)
+	}
 }
 
 // TestReplicaRoutingExperiment runs the full-size routing artefact
@@ -274,6 +306,29 @@ func TestFP16PathExperiment(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("fp16-path verdict failed:\n%s", out)
+	}
+}
+
+// TestAutoscaleExperiment runs the full-size elastic autoscaling artefact
+// (skipped in -short CI where TestBenchSmoke covers the wiring) and
+// enforces the PR-9 acceptance claims on the deterministic virtual-clock
+// simulator: exact job accounting across every fleet (zero lost through
+// scale-downs), real scale-ups AND scale-downs inside bounds, the
+// autoscaler Pareto-beating every fixed fleet its average bill could buy
+// on miss-rate and p99, and a strictly smaller replica-seconds bill than
+// the peak-pinned fleet.
+func TestAutoscaleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestBenchSmoke covers the wiring")
+	}
+	out := runExperiment(t, "autoscale")
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("autoscale verdict failed:\n%s", out)
+	}
+	for _, want := range []string{"accounting", "elasticity", "headline", "economy", "→ PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("autoscale output missing %q:\n%s", want, out)
+		}
 	}
 }
 

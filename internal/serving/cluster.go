@@ -159,6 +159,18 @@ type clusterServer struct {
 	// two-phase generation state machine (prefill completion re-enqueues
 	// the decode phase on a decode-capable server after MigrationDelay).
 	onDone func(s *clusterServer, r *sched.Request)
+
+	// onIdle, when set, fires whenever the server transitions to fully
+	// drained (batch finished, queue empty) — the drain-complete signal the
+	// elastic simulator retires scale-down victims on.
+	onIdle func(s *clusterServer)
+}
+
+// maybeIdle reports the drained state to onIdle.
+func (s *clusterServer) maybeIdle() {
+	if !s.busy && len(s.mq) == 0 && s.onIdle != nil {
+		s.onIdle(s)
+	}
 }
 
 func (s *clusterServer) price(r *sched.Request) float64 {
@@ -230,6 +242,7 @@ func (s *clusterServer) dispatch() {
 		}
 		s.busy = false
 		s.dispatch()
+		s.maybeIdle()
 	})
 }
 

@@ -1,0 +1,311 @@
+package serving
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/autoscale"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// ElasticClusterConfig configures a cluster simulation whose arrival rate
+// varies over time (diurnal, flash crowd) and whose fleet size is driven
+// either by the autoscale controller or pinned fixed — the off-line
+// validation harness the live autoscaler's hysteresis tuning is proven in
+// before it touches a real Router.
+type ElasticClusterConfig struct {
+	// Fixed pins the fleet at this many servers for the whole run (no
+	// controller) when > 0 — the baseline the autoscaler is compared
+	// against. Otherwise Autoscale drives the fleet between Min and Max.
+	Fixed     int
+	Autoscale autoscale.Config
+
+	// Rate is the instantaneous arrival rate (requests per virtual
+	// second); MaxRate is its upper bound, the thinning envelope
+	// (simclock.VaryingArrivals).
+	Rate    func(t float64) float64
+	MaxRate float64
+	// Duration is the arrival horizon in virtual seconds; after it the
+	// fleet drains to empty (every admitted job completes or expires, so
+	// the result reconciles exactly).
+	Duration float64
+	Seed     int64
+
+	LenLo, LenHi int
+	// DeadlineSec drops a request still queued this long after arrival —
+	// the deadline-miss the autoscaler is judged on.
+	DeadlineSec float64
+
+	// TickSec is the control/accounting tick in virtual seconds (default
+	// 0.25, the live drain-meter window).
+	TickSec float64
+
+	NewScheduler func() sched.Scheduler
+	Cost         sched.CostModel
+	RouteCost    sched.RouteCostModel
+	MaxBatch     int
+	Policy       BalancePolicy
+}
+
+// ElasticClusterResult reports one elastic run. The accounting identity
+// Arrivals == Served + Expired (Lost == 0) holds by construction: the run
+// continues past the arrival horizon until every queue is empty.
+type ElasticClusterResult struct {
+	Arrivals int64
+	Served   int64
+	Expired  int64
+	// Lost is Arrivals - Served - Expired; non-zero only if the run hit
+	// its drain limit with work still queued (a saturation bug, not a
+	// rounding artefact).
+	Lost     int64
+	MissRate float64 // Expired / Arrivals
+
+	LatencyAvg float64
+	LatencyP99 float64
+
+	// ReplicaSeconds integrates the powered-on replica count (active +
+	// still-draining) over the run — the capacity bill the autoscaler and
+	// the fixed fleets are compared at. AvgReplicas normalises it by the
+	// arrival horizon.
+	ReplicaSeconds float64
+	AvgReplicas    float64
+	PeakReplicas   int
+	FinalReplicas  int
+
+	ScaleUps, ScaleDowns int64
+}
+
+// Replica power states in the elastic simulation.
+const (
+	replicaOff = iota
+	replicaActive
+	replicaRetiring // draining its queue, receives no new work
+)
+
+// RunElasticClusterSim replays non-homogeneous Poisson arrivals through an
+// elastic fleet. Scale-up activates a pre-built (warm-spare) server
+// instantly; scale-down is drain-then-retire: the victim leaves the
+// routing set at once, keeps draining, and stops billing replica-seconds
+// only when its queue is empty — exactly the live RemoveReplica contract.
+func RunElasticClusterSim(cfg ElasticClusterConfig) (ElasticClusterResult, error) {
+	tick := cfg.TickSec
+	if tick <= 0 {
+		tick = 0.25
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	maxN := cfg.Fixed
+	startN := cfg.Fixed
+	var ctrl *autoscale.Controller
+	if cfg.Fixed <= 0 {
+		c, err := autoscale.New(cfg.Autoscale)
+		if err != nil {
+			return ElasticClusterResult{}, err
+		}
+		ctrl = c
+		maxN = c.Config().Max
+		startN = c.Config().Min
+	}
+
+	sim := simclock.New()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	stats := simclock.NewLatencyStats()
+	routeCost := cfg.RouteCost
+	if routeCost == nil {
+		routeCost = sched.TokenCountCost{}
+	}
+
+	servers := make([]*clusterServer, maxN)
+	state := make([]int, maxN)
+	index := make(map[*clusterServer]int, maxN)
+	var res ElasticClusterResult
+	for i := range servers {
+		s := &clusterServer{
+			sim:       sim,
+			sched:     cfg.NewScheduler(),
+			cost:      cfg.Cost,
+			routeCost: routeCost,
+			maxBatch:  cfg.MaxBatch,
+			measureHi: math.Inf(1),
+			stats:     stats,
+		}
+		s.onDone = func(s *clusterServer, r *sched.Request) {
+			stats.Add(s.sim.Now() - r.Arrival)
+			s.served++
+		}
+		s.onIdle = func(s *clusterServer) {
+			// Drain complete: a retiring replica powers off here — and only
+			// here, so its replica-seconds cover every job it ever admitted.
+			if state[index[s]] == replicaRetiring {
+				state[index[s]] = replicaOff
+			}
+		}
+		servers[i] = s
+		index[s] = i
+		if i < startN {
+			state[i] = replicaActive
+		}
+	}
+
+	active := func() []*clusterServer {
+		out := make([]*clusterServer, 0, maxN)
+		for i, s := range servers {
+			if state[i] == replicaActive {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	next := 0
+	pick := func(cands []*clusterServer) *clusterServer {
+		switch cfg.Policy {
+		case LeastQueue:
+			best := cands[0]
+			for _, s := range cands[1:] {
+				if len(s.mq) < len(best.mq) {
+					best = s
+				}
+			}
+			return best
+		case TokenCostRouting:
+			best := cands[0]
+			for _, s := range cands[1:] {
+				if s.load < best.load {
+					best = s
+				}
+			}
+			return best
+		default:
+			s := cands[next%len(cands)]
+			next++
+			return s
+		}
+	}
+
+	scaleUp := func() {
+		for i := range state {
+			if state[i] == replicaOff {
+				state[i] = replicaActive
+				res.ScaleUps++
+				return
+			}
+		}
+	}
+	scaleDown := func() {
+		// Least-loaded active victim, exactly like RemoveReplica.
+		vi := -1
+		for i := range state {
+			if state[i] != replicaActive {
+				continue
+			}
+			if vi < 0 || servers[i].load < servers[vi].load {
+				vi = i
+			}
+		}
+		if vi < 0 {
+			return
+		}
+		state[vi] = replicaRetiring
+		res.ScaleDowns++
+		servers[vi].maybeIdle() // already-drained victims power off now
+	}
+
+	// Control + accounting tick. Billing first (the fleet as it stood this
+	// tick), then the controller's decision for the next one. Ticking stops
+	// once arrivals are over and the whole fleet is drained.
+	poweredOn := func() (n int) {
+		for _, st := range state {
+			if st != replicaOff {
+				n++
+			}
+		}
+		return n
+	}
+	lastCompleted := int64(0)
+	firstTick := true
+	var tickFn func()
+	tickFn = func() {
+		on := poweredOn()
+		res.ReplicaSeconds += float64(on) * tick
+		if on > res.PeakReplicas {
+			res.PeakReplicas = on
+		}
+
+		var depth int64
+		var completed int64
+		nActive := 0
+		for i, s := range servers {
+			completed += s.served
+			if state[i] == replicaActive {
+				depth += int64(len(s.mq))
+				nActive++
+			}
+		}
+		if ctrl != nil {
+			sig := autoscale.Signals{
+				Replicas:      nActive,
+				QueueDepth:    depth,
+				DrainRate:     float64(completed-lastCompleted) / tick,
+				DrainMeasured: !firstTick,
+			}
+			switch ctrl.Tick(sig) {
+			case autoscale.ScaleUp:
+				scaleUp()
+			case autoscale.ScaleDown:
+				scaleDown()
+			}
+		}
+		lastCompleted = completed
+		firstTick = false
+
+		idle := true
+		for _, s := range servers {
+			if s.busy || len(s.mq) > 0 {
+				idle = false
+				break
+			}
+		}
+		if sim.Now() >= cfg.Duration && idle {
+			return
+		}
+		sim.After(tick, tickFn)
+	}
+	sim.After(tick, tickFn)
+
+	sim.VaryingArrivals(cfg.Rate, cfg.MaxRate, cfg.Seed, cfg.Duration, func(i int64) {
+		res.Arrivals++
+		length := cfg.LenLo
+		if cfg.LenHi > cfg.LenLo {
+			length += rng.Intn(cfg.LenHi - cfg.LenLo + 1)
+		}
+		deadline := 0.0
+		if cfg.DeadlineSec > 0 {
+			deadline = sim.Now() + cfg.DeadlineSec
+		}
+		pick(active()).enqueue(&sched.Request{ID: i + 1, Length: length, Arrival: sim.Now(), Deadline: deadline})
+	})
+
+	// Drain limit: generous, and only a backstop — a healthy run stops
+	// ticking on its own well before this.
+	sim.Run(cfg.Duration*4 + 600)
+
+	for i, s := range servers {
+		res.Served += s.served
+		res.Expired += s.expired
+		if state[i] != replicaOff {
+			res.FinalReplicas++
+		}
+	}
+	res.Lost = res.Arrivals - res.Served - res.Expired
+	if res.Arrivals > 0 {
+		res.MissRate = float64(res.Expired) / float64(res.Arrivals)
+	}
+	res.LatencyAvg = stats.Avg()
+	res.LatencyP99 = stats.Percentile(0.99)
+	if cfg.Duration > 0 {
+		res.AvgReplicas = res.ReplicaSeconds / cfg.Duration
+	}
+	return res, nil
+}

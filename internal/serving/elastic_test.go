@@ -1,0 +1,130 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// elasticCfg builds a flash-crowd elastic run: steady base load one server
+// handles easily, a crowd that needs several, then base again. fixed > 0
+// pins the fleet; 0 puts the autoscale controller in the loop (1..4).
+func elasticCfg(fixed int) ElasticClusterConfig {
+	cost := sched.CostFunc(simCost)
+	return ElasticClusterConfig{
+		Fixed:       fixed,
+		Autoscale:   autoscale.Config{Min: 1, Max: 4},
+		Rate:        simclock.FlashCrowdRate(200, 3000, 8, 2, 6, 2),
+		MaxRate:     3000,
+		Duration:    30,
+		Seed:        99,
+		LenLo:       2,
+		LenHi:       100,
+		DeadlineSec: 0.5,
+		NewScheduler: func() sched.Scheduler {
+			return &sched.DPScheduler{Cost: cost, MaxBatch: 20}
+		},
+		Cost:     cost,
+		MaxBatch: 20,
+		Policy:   LeastQueue,
+	}
+}
+
+// TestElasticDeterministicAndReconciles: same seed → identical runs, and
+// the accounting identity holds exactly — every arrival is served or
+// expired, none lost, across scale-ups AND drain-then-retire scale-downs.
+func TestElasticDeterministicAndReconciles(t *testing.T) {
+	a, err := RunElasticClusterSim(elasticCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunElasticClusterSim(elasticCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != b.Served || a.Expired != b.Expired || a.ScaleUps != b.ScaleUps {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	if a.Lost != 0 || a.Arrivals != a.Served+a.Expired {
+		t.Fatalf("accounting broken: %+v", a)
+	}
+	if a.ScaleUps < 1 {
+		t.Fatalf("flash crowd never triggered scale-up: %+v", a)
+	}
+	if a.ScaleDowns < 1 {
+		t.Fatalf("post-crowd base load never triggered scale-down: %+v", a)
+	}
+	if a.PeakReplicas <= 1 || a.PeakReplicas > 4 {
+		t.Fatalf("peak replicas out of bounds: %+v", a)
+	}
+	if a.FinalReplicas > a.PeakReplicas {
+		t.Fatalf("fleet grew after the crowd: %+v", a)
+	}
+}
+
+// TestFixedFleetReconciles: the fixed baseline path uses the same
+// accounting and also loses nothing.
+func TestFixedFleetReconciles(t *testing.T) {
+	res, err := RunElasticClusterSim(elasticCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Arrivals != res.Served+res.Expired {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.ScaleUps != 0 || res.ScaleDowns != 0 {
+		t.Fatalf("fixed fleet scaled: %+v", res)
+	}
+	if res.PeakReplicas != 2 || res.FinalReplicas != 2 {
+		t.Fatalf("fixed fleet size drifted: %+v", res)
+	}
+}
+
+// TestElasticBeatsUnderprovisionedFixed: against a fixed fleet pinned at
+// the autoscaler's Min, the autoscaler must miss fewer deadlines and have
+// a better p99 on the flash-crowd trace — the headline the bench gates on.
+func TestElasticBeatsUnderprovisionedFixed(t *testing.T) {
+	auto, err := RunElasticClusterSim(elasticCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed1, err := RunElasticClusterSim(elasticCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.MissRate >= fixed1.MissRate {
+		t.Fatalf("autoscaler miss rate %.4f not below fixed-1 %.4f", auto.MissRate, fixed1.MissRate)
+	}
+	if auto.LatencyP99 >= fixed1.LatencyP99 {
+		t.Fatalf("autoscaler p99 %.4f not below fixed-1 %.4f", auto.LatencyP99, fixed1.LatencyP99)
+	}
+}
+
+// TestElasticCheaperThanFixedPeak: the autoscaler must bill fewer
+// replica-seconds than a fleet pinned at its Max — elasticity's other half.
+func TestElasticCheaperThanFixedPeak(t *testing.T) {
+	auto, err := RunElasticClusterSim(elasticCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed4, err := RunElasticClusterSim(elasticCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ReplicaSeconds >= fixed4.ReplicaSeconds {
+		t.Fatalf("autoscaler replica-seconds %.1f not below fixed-4 %.1f",
+			auto.ReplicaSeconds, fixed4.ReplicaSeconds)
+	}
+}
+
+// TestElasticBadConfigRejected: an invalid autoscale config surfaces as an
+// error, not a silently pinned fleet.
+func TestElasticBadConfigRejected(t *testing.T) {
+	cfg := elasticCfg(0)
+	cfg.Autoscale = autoscale.Config{Min: 3, Max: 1}
+	if _, err := RunElasticClusterSim(cfg); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+}

@@ -119,7 +119,7 @@ func newGenDispatcher(srv *Server, engine *core.GenEngine, maxBatch, tokenBudget
 		if err == nil {
 			return false
 		}
-		d.srv.countDrop(err)
+		d.srv.countDrop(j, err)
 		j.fail(err)
 		return true
 	}
@@ -291,7 +291,7 @@ func (d *genDispatcher) Run(q *Queue) {
 				}
 				d.sched.Evict(lg.id)
 				lg.sess.Close()
-				d.srv.countDrop(err)
+				d.srv.countDrop(lg.job, err)
 				lg.job.fail(err)
 				continue
 			}
@@ -314,7 +314,7 @@ func (d *genDispatcher) Run(q *Queue) {
 			j := r.Payload.(*Job)
 			if err := j.dropErr(now); err != nil {
 				d.sched.Evict(r.ID)
-				d.srv.countDrop(err)
+				d.srv.countDrop(j, err)
 				j.fail(err)
 				continue
 			}
@@ -475,6 +475,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}")
+		return
+	}
+	if s.shedSLO(w, req.Priority) {
 		return
 	}
 	s.serveGenerate(w, r, req)

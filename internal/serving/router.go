@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,27 @@ type Router struct {
 	// cursor needs no lock, and the charge itself stays atomic so release
 	// never blocks on routing.
 	pickMu sync.Mutex
+
+	// setMu guards the replica SET against the elastic operations. Every
+	// pick+charge holds the read side, so RemoveReplica's write lock is a
+	// barrier: once it swaps the slice, no in-progress pick can still
+	// charge the victim, and any charge already landed is visible in the
+	// victim's inflight gauge — which RemoveReplica then waits to zero
+	// before draining. Mutation is copy-on-write.
+	setMu sync.RWMutex
+	// retired accumulates the final counter snapshots of removed replicas
+	// so the aggregated stats stay monotone across scale-downs — a served
+	// job never disappears from /v1/stats because its replica retired.
+	retired []statsResponse
+
+	// slo, when set, is the shared deadline-miss budget controller: every
+	// replica's dispatchers record misses into it, and THIS front door
+	// sheds exhausted classes at admission.
+	slo         *sloController
+	jobsShedSLO atomic.Int64
+
+	scaleUps   atomic.Int64 // replicas ever attached via AddReplica
+	scaleDowns atomic.Int64 // replicas ever retired via RemoveReplica
 }
 
 // replica wraps one Server with the router-side load accounting the
@@ -107,6 +129,16 @@ type RouterConfig struct {
 	// and sched.DefaultLinkCost for the migration term. Ignored without
 	// Roles.
 	RoleCosts sched.RoleCosts
+
+	// SLOBudget enables per-priority-class overload control across the
+	// fleet: once a class accumulates this many deadline misses inside
+	// SLOWindow (summed over every replica), new jobs of that class are
+	// shed with 504 at the router's front door until enough misses age
+	// out. Zero disables shedding.
+	SLOBudget int
+	// SLOWindow is the sliding window the miss budget is counted over
+	// (default DefaultSLOWindow).
+	SLOWindow time.Duration
 }
 
 // NewRouter builds the multi-replica front door over already-started
@@ -164,11 +196,118 @@ func NewRouter(cfg RouterConfig, servers ...*Server) (*Router, error) {
 	if rt.migration == nil {
 		rt.migration = sched.DefaultLinkCost
 	}
+	if cfg.SLOBudget > 0 {
+		rt.slo = newSLOController(cfg.SLOBudget, cfg.SLOWindow)
+		for _, s := range servers {
+			s.setSLORecorder(rt.slo)
+		}
+	}
 	return rt, nil
 }
 
-// Replicas reports the replica count.
-func (rt *Router) Replicas() int { return len(rt.replicas) }
+// Replicas reports the count of replicas currently receiving traffic.
+func (rt *Router) Replicas() int {
+	rt.setMu.RLock()
+	defer rt.setMu.RUnlock()
+	return len(rt.replicas)
+}
+
+// AddReplica attaches an already-started Server as a new traffic-bearing
+// replica — the autoscaler's scale-up action. The server must be
+// configured identically to the existing replicas; ownership transfers to
+// the router. Routers with replica roles are static: the disaggregated
+// candidate sets are built at construction, so elastic operations refuse.
+func (rt *Router) AddReplica(srv *Server) error {
+	if srv == nil {
+		return fmt.Errorf("serving: AddReplica: nil server")
+	}
+	rt.setMu.Lock()
+	defer rt.setMu.Unlock()
+	if rt.rolesSet {
+		return fmt.Errorf("serving: AddReplica: router with replica roles is not elastic")
+	}
+	if rt.slo != nil {
+		srv.setSLORecorder(rt.slo)
+	}
+	rep := &replica{srv: srv}
+	next := make([]*replica, len(rt.replicas), len(rt.replicas)+1)
+	copy(next, rt.replicas)
+	rt.replicas = append(next, rep)
+	rt.mixed = rt.replicas
+	rt.scaleUps.Add(1)
+	return nil
+}
+
+// RemoveReplica retires the least-loaded replica — the autoscaler's
+// scale-down action — and returns its drained Server (closed; exposed so
+// callers can verify its allocator gauges reached zero). Drain-then-retire,
+// in three barriers, so no job is ever lost or routed to a retiring
+// replica:
+//
+//  1. the replica set is swapped under the write lock, which excludes every
+//     in-progress pick — after the swap no new request can charge the
+//     victim;
+//  2. the router waits for the victim's inflight gauge to drain: charges
+//     landed before the swap belong to requests whose handlers may not
+//     have SUBMITTED yet, and shutting down under them would 503 work the
+//     router already accepted;
+//  3. the victim drains exactly like PR-5 Shutdown — admission closed,
+//     everything admitted served, dispatchers joined — and its final
+//     counters fold into the retired aggregate so /v1/stats stays
+//     monotone.
+//
+// If ctx expires mid-drain the victim's stragglers are aborted (Shutdown
+// semantics) and ctx.Err() is returned alongside the server.
+func (rt *Router) RemoveReplica(ctx context.Context) (*Server, error) {
+	rt.setMu.Lock()
+	if rt.rolesSet {
+		rt.setMu.Unlock()
+		return nil, fmt.Errorf("serving: RemoveReplica: router with replica roles is not elastic")
+	}
+	if len(rt.replicas) <= 1 {
+		rt.setMu.Unlock()
+		return nil, fmt.Errorf("serving: RemoveReplica: cannot remove the last replica")
+	}
+	// Least-loaded victim: fewest unresolved jobs, ties on priced load.
+	vi := 0
+	for i, r := range rt.replicas[1:] {
+		ri, vi0 := r.inflight.Load(), rt.replicas[vi].inflight.Load()
+		if ri < vi0 || (ri == vi0 && r.loadNS.Load() < rt.replicas[vi].loadNS.Load()) {
+			vi = i + 1
+		}
+	}
+	victim := rt.replicas[vi]
+	next := make([]*replica, 0, len(rt.replicas)-1)
+	next = append(next, rt.replicas[:vi]...)
+	next = append(next, rt.replicas[vi+1:]...)
+	rt.replicas = next
+	rt.mixed = rt.replicas
+	rt.setMu.Unlock()
+
+	// Barrier 2: requests charged before the swap finish their hand-off to
+	// the victim (and resolve) before the drain starts.
+	for victim.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			// Give up waiting politely; Shutdown below aborts stragglers.
+		case <-time.After(500 * time.Microsecond):
+			continue
+		}
+		break
+	}
+
+	err := victim.srv.Shutdown(ctx)
+
+	final := victim.srv.statsSnapshot()
+	// Rates are instantaneous, not counters: a retired replica drains
+	// nothing, so its last-measured rate must not haunt the fleet total.
+	final.DrainRate, final.DrainMeasured = 0, false
+	rt.setMu.Lock()
+	rt.retired = append(rt.retired, final)
+	rt.setMu.Unlock()
+	rt.scaleDowns.Add(1)
+	return victim.srv, err
+}
 
 // Policy reports the balancing policy.
 func (rt *Router) Policy() BalancePolicy { return rt.policy }
@@ -178,12 +317,34 @@ func (rt *Router) Policy() BalancePolicy { return rt.policy }
 // resolves (response written, stream closed, or error returned — however
 // it ends). promptTokens and newTokens size the token-cost price.
 func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
+	rt.setMu.RLock()
+	defer rt.setMu.RUnlock()
 	return rt.routeAmong(rt.replicas, int64(rt.cost.RequestCost(promptTokens, newTokens)))
+}
+
+// routeClassify routes one classify-shaped request, with the candidate set
+// and the pick+charge under one read lock so a concurrent RemoveReplica
+// can neither hand out a stale set nor miss a landed charge.
+func (rt *Router) routeClassify(price int64) (*replica, func()) {
+	rt.setMu.RLock()
+	defer rt.setMu.RUnlock()
+	return rt.routeAmong(rt.classifyCandidates(), price)
+}
+
+// anyServer returns one live replica's server — the config oracle for
+// knobs every identically-configured replica shares (decode budget
+// defaults, KV bytes per token). The set is never empty.
+func (rt *Router) anyServer() *Server {
+	rt.setMu.RLock()
+	defer rt.setMu.RUnlock()
+	return rt.replicas[0].srv
 }
 
 // routeAmong applies the balancing policy over an explicit candidate set —
 // all replicas for a role-less router, the non-decode replicas for
-// classify under roles — and charges the pick with price.
+// classify under roles — and charges the pick with price. Callers hold
+// setMu.RLock (pick+charge must be atomic with respect to the elastic
+// operations).
 func (rt *Router) routeAmong(cands []*replica, price int64) (*replica, func()) {
 	var rep *replica
 	switch rt.policy {
@@ -259,7 +420,7 @@ type genPlan struct {
 // cross-attention memory — promptTokens rows across every layer's K and V
 // — is the whole transfer, which is exactly promptTokens × KVBytesPerToken.
 func (rt *Router) handoffBytesEstimate(promptTokens int) int64 {
-	srv := rt.replicas[0].srv
+	srv := rt.anyServer()
 	if srv.gen == nil {
 		return 0
 	}
@@ -283,6 +444,8 @@ func (rt *Router) planGenerate(promptTokens, budget int) genPlan {
 	migBytes := rt.handoffBytesEstimate(promptTokens)
 	migPrice := int64(rt.migration.MigrationCost(migBytes))
 
+	rt.setMu.RLock()
+	defer rt.setMu.RUnlock()
 	rt.pickMu.Lock()
 	defer rt.pickMu.Unlock()
 	minLoad := func(cands []*replica) *replica {
@@ -351,6 +514,26 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
+// shedSLO refuses the request with 504 when the class's fleet-wide miss
+// budget is exhausted — admission control BEFORE any replica is picked or
+// charged. The Retry-After derives from the budget window (when enough
+// misses age out for the class to reopen), not the queue-drain estimate:
+// the queues keep draining while the class stays closed, so a drain-based
+// hint would invite retries long before admission actually reopens.
+func (rt *Router) shedSLO(w http.ResponseWriter, priority int) bool {
+	if rt.slo == nil {
+		return false
+	}
+	retry, shed := rt.slo.shed(priority, time.Now())
+	if !shed {
+		return false
+	}
+	rt.jobsShedSLO.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	httpError(w, http.StatusGatewayTimeout, ErrSLOShed.Error())
+	return true
+}
+
 func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, http.MethodPost)
@@ -361,10 +544,13 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ...}")
 		return
 	}
+	if rt.shedSLO(w, req.Priority) {
+		return
+	}
 	// The demo tokenizer is byte-level, so the prompt token count is known
 	// before any replica is involved. Under roles, classify — prefill-shaped
 	// work — never lands on a decode replica.
-	rep, release := rt.routeAmong(rt.classifyCandidates(), int64(rt.cost.RequestCost(len(req.Text), 0)))
+	rep, release := rt.routeClassify(int64(rt.cost.RequestCost(len(req.Text), 0)))
 	defer release()
 	rep.srv.serveClassify(w, r, req)
 }
@@ -379,9 +565,12 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ..., \"max_new_tokens\": n, \"stream\": bool}")
 		return
 	}
+	if rt.shedSLO(w, req.Priority) {
+		return
+	}
 	// Price prompt + resolved decode budget (replicas are identical, so
-	// replica 0's defaults resolve the budget for all of them).
-	budget := rt.replicas[0].srv.genBudget(req.MaxNewTokens)
+	// any live replica's defaults resolve the budget for all of them).
+	budget := rt.anyServer().genBudget(req.MaxNewTokens)
 	if !rt.rolesSet || budget == 0 {
 		rep, release := rt.route(len(req.Text), budget)
 		defer release()
@@ -450,6 +639,13 @@ type ReplicaStats struct {
 type RouterStats struct {
 	Policy   string `json:"policy"`
 	Replicas int    `json:"replica_count"`
+	// Elasticity accounting: replicas currently receiving traffic, replicas
+	// retired so far (their final counters stay folded into the aggregate),
+	// and the cumulative AddReplica/RemoveReplica actions.
+	ReplicasActive  int   `json:"replicas_active"`
+	ReplicasRetired int   `json:"replicas_retired"`
+	ScaleUps        int64 `json:"scale_ups"`
+	ScaleDowns      int64 `json:"scale_downs"`
 	// Aggregate hand-off accounting: KVMigrations/KVMigratedBytes sum the
 	// completed imports across replicas (each migration counted once, on
 	// its import), PrefillQueueDepth the instantaneous pre-hand-off gauge.
@@ -504,6 +700,12 @@ func aggregateStats(parts []statsResponse) statsResponse {
 		if p.KVBytesPerToken > agg.KVBytesPerToken {
 			agg.KVBytesPerToken = p.KVBytesPerToken
 		}
+		agg.JobsShedSLO += p.JobsShedSLO
+		// The fleet's drain rate is the sum of per-replica rates (jobs/sec
+		// add across independent queues); it is measured once any replica's
+		// meter is.
+		agg.DrainRate += p.DrainRate
+		agg.DrainMeasured = agg.DrainMeasured || p.DrainMeasured
 	}
 	if t := agg.TokensProcessed + agg.TokensPadded; t > 0 {
 		agg.PaddingWaste = float64(agg.TokensPadded) / float64(t)
@@ -512,14 +714,27 @@ func aggregateStats(parts []statsResponse) statsResponse {
 }
 
 // Stats returns the aggregated router statistics (the /v1/stats body).
+// Retired replicas' final counters stay in the aggregate (and only there):
+// work a replica served before scale-down never disappears from the fleet
+// totals, which is what lets tests reconcile Σ served across an elastic
+// run exactly.
 func (rt *Router) Stats() RouterStats {
-	parts := make([]statsResponse, len(rt.replicas))
+	rt.setMu.RLock()
+	replicas := append([]*replica(nil), rt.replicas...)
+	retired := append([]statsResponse(nil), rt.retired...)
+	rt.setMu.RUnlock()
+
+	parts := make([]statsResponse, len(replicas), len(replicas)+len(retired))
 	resp := RouterStats{
-		Policy:     rt.policy.String(),
-		Replicas:   len(rt.replicas),
-		PerReplica: make([]ReplicaStats, len(rt.replicas)),
+		Policy:          rt.policy.String(),
+		Replicas:        len(replicas),
+		ReplicasActive:  len(replicas),
+		ReplicasRetired: len(retired),
+		ScaleUps:        rt.scaleUps.Load(),
+		ScaleDowns:      rt.scaleDowns.Load(),
+		PerReplica:      make([]ReplicaStats, len(replicas)),
 	}
-	for i, rep := range rt.replicas {
+	for i, rep := range replicas {
 		parts[i] = rep.srv.statsSnapshot()
 		resp.PerReplica[i] = ReplicaStats{
 			Replica:            i,
@@ -538,7 +753,11 @@ func (rt *Router) Stats() RouterStats {
 		resp.KVMigratedBytes += rep.migratedInBytes.Load()
 		resp.PrefillQueueDepth += rep.prefillQ.Load()
 	}
+	parts = append(parts, retired...)
 	resp.statsResponse = aggregateStats(parts)
+	// Fleet-level SLO sheds happen at THIS front door, before any replica
+	// is involved, so they live on the router and add to the aggregate.
+	resp.JobsShedSLO += rt.jobsShedSLO.Load()
 	return resp
 }
 
@@ -557,9 +776,12 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 // single-server Shutdown; the first non-nil error is returned after ALL
 // replicas have stopped.
 func (rt *Router) Shutdown(ctx context.Context) error {
-	errs := make([]error, len(rt.replicas))
+	rt.setMu.RLock()
+	replicas := append([]*replica(nil), rt.replicas...)
+	rt.setMu.RUnlock()
+	errs := make([]error, len(replicas))
 	var wg sync.WaitGroup
-	for i, rep := range rt.replicas {
+	for i, rep := range replicas {
 		wg.Add(1)
 		go func(i int, rep *replica) {
 			defer wg.Done()
@@ -578,8 +800,11 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 // Close aborts every replica: queued jobs fail, running generations are
 // evicted, and all dispatcher goroutines are joined before returning.
 func (rt *Router) Close() {
+	rt.setMu.RLock()
+	replicas := append([]*replica(nil), rt.replicas...)
+	rt.setMu.RUnlock()
 	var wg sync.WaitGroup
-	for _, rep := range rt.replicas {
+	for _, rep := range replicas {
 		wg.Add(1)
 		go func(rep *replica) {
 			defer wg.Done()

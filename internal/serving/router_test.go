@@ -16,34 +16,43 @@ import (
 	"repro/internal/sched"
 )
 
-// routerTestStack builds an n-replica router (classify + generate enabled,
-// identical weights per replica) behind an httptest server.
-func routerTestStack(t *testing.T, n int, policy BalancePolicy) (*Router, *httptest.Server) {
+// newRouterReplica builds one classify+generate server with the standard
+// router-test weights — the same construction for seed replicas and the
+// elastically attached ones.
+func newRouterReplica(t *testing.T) *Server {
 	t.Helper()
 	encCfg := model.BertBase().Scaled(32, 4, 64, 2)
 	decCfg := model.Seq2SeqDecoder().Scaled(32, 4, 64, 2)
 	cost := sched.CostFunc(func(l, b int) time.Duration { return time.Duration(l*b) * time.Microsecond })
+	engine, err := core.NewEngine(encCfg, core.Options{Seed: 1, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genEngine, err := core.NewGenEngine(encCfg, decCfg, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Engine:           engine,
+		Scheduler:        &sched.DPScheduler{Cost: cost, MaxBatch: 8},
+		MaxBatch:         8,
+		GenEngine:        genEngine,
+		GenMaxBatch:      4,
+		GenDefaultMaxNew: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// routerTestStack builds an n-replica router (classify + generate enabled,
+// identical weights per replica) behind an httptest server.
+func routerTestStack(t *testing.T, n int, policy BalancePolicy) (*Router, *httptest.Server) {
+	t.Helper()
 	servers := make([]*Server, n)
 	for i := range servers {
-		engine, err := core.NewEngine(encCfg, core.Options{Seed: 1, Classes: 3})
-		if err != nil {
-			t.Fatal(err)
-		}
-		genEngine, err := core.NewGenEngine(encCfg, decCfg, core.Options{Seed: 5})
-		if err != nil {
-			t.Fatal(err)
-		}
-		servers[i], err = NewServer(ServerConfig{
-			Engine:           engine,
-			Scheduler:        &sched.DPScheduler{Cost: cost, MaxBatch: 8},
-			MaxBatch:         8,
-			GenEngine:        genEngine,
-			GenMaxBatch:      4,
-			GenDefaultMaxNew: 8,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+		servers[i] = newRouterReplica(t)
 	}
 	router, err := NewRouter(RouterConfig{Policy: policy}, servers...)
 	if err != nil {
@@ -207,6 +216,9 @@ func TestRouterPropertyNoLossNoDupStatsSum(t *testing.T) {
 				sum.JobsRejected += rep.JobsRejected
 				sum.JobsExpired += rep.JobsExpired
 				sum.JobsCancelled += rep.JobsCancelled
+				sum.JobsShedSLO += rep.JobsShedSLO
+				sum.DrainRate += rep.DrainRate
+				sum.DrainMeasured = sum.DrainMeasured || rep.DrainMeasured
 				sum.TokensProcessed += rep.TokensProcessed
 				sum.TokensPadded += rep.TokensPadded
 				sum.PackedBatches += rep.PackedBatches
@@ -238,6 +250,201 @@ func TestRouterPropertyNoLossNoDupStatsSum(t *testing.T) {
 				t.Fatalf("jobs_routed sums to %d, want %d", routedSum, nClassify+nGenerate)
 			}
 		})
+	}
+}
+
+// TestRouterScalePropertyNoLossUnderElasticity extends the PR-5 property
+// test with concurrent AddReplica/RemoveReplica cycles under live mixed
+// traffic: every request must resolve exactly once with the oracle's
+// answer (nothing lost, duplicated, or routed to a retiring replica — a
+// job landing on a retiring replica would 503), each removed replica's
+// gauges must have drained to exactly zero, and the aggregated stats must
+// still reconcile exactly because retired counters fold into the
+// aggregate. Run under -race in CI.
+func TestRouterScalePropertyNoLossUnderElasticity(t *testing.T) {
+	router, ts := routerTestStack(t, 2, LeastQueue)
+
+	oracle, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2), core.Options{Seed: 1, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extra replicas are pre-built on the test goroutine (the factory uses
+	// t.Fatal); the scaler goroutine only attaches and retires.
+	const cycles = 3
+	extras := make([]*Server, cycles)
+	for i := range extras {
+		extras[i] = newRouterReplica(t)
+	}
+
+	const nClassify, nGenerate = 48, 16
+	texts := make([]string, nClassify)
+	want := make([]int, nClassify)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("elastic request %d %s", i, string(byte('a'+i%26)))
+		cls, err := oracle.Classify(context.Background(), [][]int{Tokenize(texts[i], oracle.Cfg.Vocab)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = cls[0]
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	classifyOK, generateOK := 0, 0
+	for i := 0; i < nClassify; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond) // span the scale cycles
+			body, _ := json.Marshal(map[string]interface{}{"text": texts[i]})
+			resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("classify %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var out classifyResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("classify %d: status %d err %v", i, resp.StatusCode, err)
+				return
+			}
+			if out.Class != want[i] {
+				t.Errorf("classify %d: class %d, oracle %d", i, out.Class, want[i])
+				return
+			}
+			mu.Lock()
+			classifyOK++
+			mu.Unlock()
+		}(i)
+	}
+	for i := 0; i < nGenerate; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 5 * time.Millisecond)
+			body, _ := json.Marshal(map[string]interface{}{"text": fmt.Sprintf("elastic prompt %d", i), "max_new_tokens": 6})
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("generate %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var out generateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("generate %d: status %d err %v", i, resp.StatusCode, err)
+				return
+			}
+			if len(out.Tokens) == 0 {
+				t.Errorf("generate %d: empty stream", i)
+				return
+			}
+			mu.Lock()
+			generateOK++
+			mu.Unlock()
+		}(i)
+	}
+
+	removed := make([]*Server, 0, cycles)
+	scalerDone := make(chan struct{})
+	go func() {
+		defer close(scalerDone)
+		for _, extra := range extras {
+			if err := router.AddReplica(extra); err != nil {
+				t.Errorf("AddReplica: %v", err)
+				return
+			}
+			time.Sleep(15 * time.Millisecond)
+			srv, err := router.RemoveReplica(context.Background())
+			if err != nil {
+				t.Errorf("RemoveReplica: %v", err)
+				return
+			}
+			removed = append(removed, srv)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	<-scalerDone
+	if classifyOK != nClassify || generateOK != nGenerate {
+		t.Fatalf("resolved %d/%d classify, %d/%d generate", classifyOK, nClassify, generateOK, nGenerate)
+	}
+
+	// Drain-then-retire: every removed replica left with its allocator
+	// gauges at exactly zero — nothing queued, nothing reserved, no KV
+	// bytes still on the device.
+	for i, srv := range removed {
+		snap := srv.statsSnapshot()
+		if snap.QueueDepth != 0 || snap.GenReservedTokens != 0 ||
+			snap.GenKVReservedBytes != 0 || snap.GenKVUsedBytes != 0 {
+			t.Fatalf("removed replica %d not fully drained: depth=%d reserved=%d kvres=%d kvused=%d",
+				i, snap.QueueDepth, snap.GenReservedTokens, snap.GenKVReservedBytes, snap.GenKVUsedBytes)
+		}
+	}
+
+	// Let the routing-charge defers unwind before asserting reconciliation.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		settled := true
+		router.setMu.RLock()
+		for _, rep := range router.replicas {
+			if rep.inflight.Load() != 0 {
+				settled = false
+			}
+		}
+		router.setMu.RUnlock()
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stats := router.Stats()
+	if stats.ScaleUps != cycles || stats.ScaleDowns != cycles {
+		t.Fatalf("scale counters %d/%d, want %d/%d", stats.ScaleUps, stats.ScaleDowns, cycles, cycles)
+	}
+	if stats.ReplicasActive != 2 || stats.ReplicasRetired != cycles {
+		t.Fatalf("fleet shape %d active / %d retired, want 2 / %d", stats.ReplicasActive, stats.ReplicasRetired, cycles)
+	}
+	// Exact reconciliation across the elastic run: retired replicas' work
+	// stays in the aggregate, so Σ served == successful responses.
+	if stats.Served != int64(nClassify) {
+		t.Fatalf("aggregate served %d, want %d (retired counters must fold in)", stats.Served, nClassify)
+	}
+	if stats.GenRequests != int64(nGenerate) {
+		t.Fatalf("aggregate gen_requests %d, want %d", stats.GenRequests, nGenerate)
+	}
+	if stats.JobsRejected != 0 || stats.JobsExpired != 0 || stats.JobsCancelled != 0 || stats.JobsShedSLO != 0 {
+		t.Fatalf("lifecycle drops under clean elastic load: %+v", stats.statsResponse)
+	}
+}
+
+// TestRouterElasticValidation: elastic operations refuse what must never
+// happen — removing the last replica, adding to a role-tagged router, nil
+// servers.
+func TestRouterElasticValidation(t *testing.T) {
+	router, _ := routerTestStack(t, 1, RoundRobin)
+	if _, err := router.RemoveReplica(context.Background()); err == nil {
+		t.Fatal("removed the last replica")
+	}
+	if err := router.AddReplica(nil); err == nil {
+		t.Fatal("nil replica attached")
+	}
+
+	roleServers := []*Server{newRouterReplica(t), newRouterReplica(t)}
+	roled, err := NewRouter(RouterConfig{Roles: []ReplicaRole{RolePrefill, RoleDecode}}, roleServers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(roled.Close)
+	extra := newRouterReplica(t)
+	t.Cleanup(extra.Close)
+	if err := roled.AddReplica(extra); err == nil {
+		t.Fatal("role-tagged router accepted AddReplica")
+	}
+	if _, err := roled.RemoveReplica(context.Background()); err == nil {
+		t.Fatal("role-tagged router accepted RemoveReplica")
 	}
 }
 

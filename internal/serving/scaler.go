@@ -1,0 +1,126 @@
+package serving
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/autoscale"
+)
+
+// RouterScaler adapts an elastic Router to the autoscale.Scaler interface:
+// it reads the control-loop signals out of the aggregated stats and
+// executes scale actions via AddReplica/RemoveReplica. To keep scale-up
+// prompt it maintains ONE warm spare replica, built in the background from
+// the shared factory (which closes over the already-resolved model config
+// and warmed cost model, so a spare costs construction time, not
+// re-warm-up time): ScaleUp attaches the spare when one is ready and
+// builds synchronously otherwise, then starts warming the next spare.
+type RouterScaler struct {
+	rt      *Router
+	factory func() (*Server, error)
+
+	mu      sync.Mutex
+	spare   *Server
+	warming bool
+	closed  bool
+	wg      sync.WaitGroup // in-flight background build
+}
+
+// NewRouterScaler wires a router to its replica factory and starts warming
+// the first spare. Call Close to stop background builds and release an
+// unused spare.
+func NewRouterScaler(rt *Router, factory func() (*Server, error)) *RouterScaler {
+	sc := &RouterScaler{rt: rt, factory: factory}
+	sc.warmNext()
+	return sc
+}
+
+// warmNext starts one background spare build unless a spare (or build) is
+// already in place. A failed build is simply dropped: the next ScaleUp
+// falls back to building synchronously and surfaces the error.
+func (sc *RouterScaler) warmNext() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed || sc.warming || sc.spare != nil {
+		return
+	}
+	sc.warming = true
+	sc.wg.Add(1)
+	go func() {
+		defer sc.wg.Done()
+		srv, err := sc.factory()
+		sc.mu.Lock()
+		sc.warming = false
+		var orphan *Server
+		if err == nil {
+			if sc.closed {
+				orphan = srv
+			} else {
+				sc.spare = srv
+			}
+		}
+		sc.mu.Unlock()
+		if orphan != nil {
+			orphan.Close()
+		}
+	}()
+}
+
+// Signals implements autoscale.Scaler from the router's aggregated stats.
+func (sc *RouterScaler) Signals() autoscale.Signals {
+	st := sc.rt.Stats()
+	return autoscale.Signals{
+		Replicas:          st.ReplicasActive,
+		QueueDepth:        st.QueueDepth,
+		DrainRate:         st.DrainRate,
+		DrainMeasured:     st.DrainMeasured,
+		KVBlocksUsed:      st.KVBlocksUsed,
+		KVBlocksTotal:     st.KVBlocksTotal,
+		GenReservedTokens: st.GenReservedTokens,
+	}
+}
+
+// ScaleUp implements autoscale.Scaler: attach the warm spare (or build one
+// synchronously), then start warming the next.
+func (sc *RouterScaler) ScaleUp() error {
+	sc.mu.Lock()
+	srv := sc.spare
+	sc.spare = nil
+	sc.mu.Unlock()
+	if srv == nil {
+		var err error
+		if srv, err = sc.factory(); err != nil {
+			return err
+		}
+	}
+	if err := sc.rt.AddReplica(srv); err != nil {
+		srv.Close()
+		return err
+	}
+	sc.warmNext()
+	return nil
+}
+
+// ScaleDown implements autoscale.Scaler: drain-then-retire the
+// least-loaded replica (blocks for the drain — the control loop runs
+// actions inline, so no second action can start mid-drain).
+func (sc *RouterScaler) ScaleDown(ctx context.Context) error {
+	_, err := sc.rt.RemoveReplica(ctx)
+	return err
+}
+
+// Close stops background builds and closes an unused spare. It does not
+// touch the router.
+func (sc *RouterScaler) Close() {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.mu.Unlock()
+	sc.wg.Wait()
+	sc.mu.Lock()
+	srv := sc.spare
+	sc.spare = nil
+	sc.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}

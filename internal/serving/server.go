@@ -70,6 +70,16 @@ type Server struct {
 	jobsRejected  atomic.Int64 // refused with 429 at the full queue
 	jobsExpired   atomic.Int64 // dropped past deadline before (or at) scheduling
 	jobsCancelled atomic.Int64 // dropped because the client went away
+	jobsShedSLO   atomic.Int64 // refused with 504 by the SLO budget controller
+
+	// slo is the per-priority-class deadline-miss budget controller. Owned
+	// when ServerConfig sets a budget; injected (shared across replicas) by
+	// the Router via setSLORecorder. Every deadline miss this server drops
+	// is charged to it; admission sheds only at the front door that owns it.
+	slo atomic.Pointer[sloController]
+	// sloFrontDoor is true when this server owns the shed decision (it is
+	// not behind a Router). The Router's injection clears it.
+	sloFrontDoor atomic.Bool
 
 	// completions counts every job that left the server after admission —
 	// classify results, finished generation streams, and drops/failures on
@@ -116,6 +126,15 @@ type ServerConfig struct {
 	// GenDefaultMaxNew is the token budget used when a request does not
 	// set max_new_tokens (default 32).
 	GenDefaultMaxNew int
+
+	// SLOBudget enables per-priority-class overload control: once a class
+	// accumulates this many deadline misses inside SLOWindow, new jobs of
+	// that class are shed with 504 at admission until enough misses age
+	// out. Zero disables shedding.
+	SLOBudget int
+	// SLOWindow is the sliding window the miss budget is counted over
+	// (default DefaultSLOWindow).
+	SLOWindow time.Duration
 }
 
 // NewServer builds the serving framework and starts its dispatchers.
@@ -136,6 +155,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.root, s.abortRoot = context.WithCancel(context.Background())
 	if cfg.CacheSize > 0 {
 		s.cache = NewResponseCache(cfg.CacheSize)
+	}
+	if cfg.SLOBudget > 0 {
+		s.slo.Store(newSLOController(cfg.SLOBudget, cfg.SLOWindow))
+		s.sloFrontDoor.Store(true)
 	}
 	s.classify = &classifyDispatcher{
 		srv:         s,
@@ -209,13 +232,45 @@ func (s *Server) abort() {
 }
 
 // countDrop attributes a dropped job to the expired or cancelled counter.
-func (s *Server) countDrop(err error) {
+// A deadline miss is also charged to the job's priority class in the SLO
+// budget controller (when one is attached) — the signal that eventually
+// closes admission for the class.
+func (s *Server) countDrop(j *Job, err error) {
 	if errors.Is(err, ErrDeadlineExceeded) {
 		s.jobsExpired.Add(1)
+		if c := s.slo.Load(); c != nil {
+			c.recordMiss(j.Priority, time.Now())
+		}
 	} else {
 		s.jobsCancelled.Add(1)
 	}
 	s.completions.Add(1)
+}
+
+// setSLORecorder attaches a shared (router-owned) budget controller: this
+// replica's deadline misses feed it, but the shed decision stays at the
+// router's front door, so sloFrontDoor is cleared.
+func (s *Server) setSLORecorder(c *sloController) {
+	s.slo.Store(c)
+	s.sloFrontDoor.Store(false)
+}
+
+// shedSLO refuses the request with 504 when the class's miss budget is
+// exhausted, carrying a Retry-After derived from the budget window (the
+// moment admission reopens), and reports whether it shed.
+func (s *Server) shedSLO(w http.ResponseWriter, priority int) bool {
+	c := s.slo.Load()
+	if c == nil || !s.sloFrontDoor.Load() {
+		return false
+	}
+	retry, shed := c.shed(priority, time.Now())
+	if !shed {
+		return false
+	}
+	s.jobsShedSLO.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	httpError(w, http.StatusGatewayTimeout, ErrSLOShed.Error())
+	return true
 }
 
 // drainMeter measures the server's recent job-completion rate by sampling
@@ -360,7 +415,7 @@ func (d *classifyDispatcher) Run(q *Queue) {
 		reqs := make([]*sched.Request, 0, len(jobs))
 		for _, j := range jobs {
 			if err := j.dropErr(now); err != nil {
-				d.srv.countDrop(err)
+				d.srv.countDrop(j, err)
 				j.fail(err)
 				continue
 			}
@@ -394,7 +449,7 @@ func (d *classifyDispatcher) runBatch(b sched.Batch) {
 	for _, r := range b.Requests {
 		j := r.Payload.(*Job)
 		if err := j.dropErr(now); err != nil {
-			s.countDrop(err)
+			s.countDrop(j, err)
 			j.fail(err)
 			continue
 		}
@@ -500,6 +555,8 @@ func jobErrorStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrServerClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSLOShed):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -536,6 +593,14 @@ type statsResponse struct {
 	JobsRejected  int64 `json:"jobs_rejected"`
 	JobsExpired   int64 `json:"jobs_expired"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsShedSLO   int64 `json:"jobs_shed_slo"`
+
+	// Drain-meter state: the recent job-completion rate (jobs/sec) and
+	// whether a full measurement window has closed — the signals the
+	// autoscaler samples (a MEASURED zero with queued work is a wedged
+	// replica).
+	DrainRate     float64 `json:"drain_rate_jobs_per_sec"`
+	DrainMeasured bool    `json:"drain_measured"`
 
 	// Zero-padding accounting: real tokens classified, padding rows the
 	// engine executed on top (always 0 when the packed path is active),
@@ -605,6 +670,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Text == "" {
 		httpError(w, http.StatusBadRequest, "body must be {\"text\": ...}")
+		return
+	}
+	if s.shedSLO(w, req.Priority) {
 		return
 	}
 	s.serveClassify(w, r, req)
@@ -686,6 +754,7 @@ func (s *Server) statsSnapshot() statsResponse {
 		JobsRejected:    s.jobsRejected.Load(),
 		JobsExpired:     s.jobsExpired.Load(),
 		JobsCancelled:   s.jobsCancelled.Load(),
+		JobsShedSLO:     s.jobsShedSLO.Load(),
 		TokensProcessed: s.tokensProcessed.Load(),
 		TokensPadded:    s.tokensPadded.Load(),
 		PackedBatches:   s.packedBatches.Load(),
@@ -693,6 +762,7 @@ func (s *Server) statsSnapshot() statsResponse {
 	if t := resp.TokensProcessed + resp.TokensPadded; t > 0 {
 		resp.PaddingWaste = float64(resp.TokensPadded) / float64(t)
 	}
+	resp.DrainRate, resp.DrainMeasured = s.drain.observe(time.Now(), s.completions.Load())
 	resp.FP16Enabled = s.engine.FP16Enabled()
 	resp.FusedLaunches = s.engine.FusedLaunches()
 	if s.gen != nil {

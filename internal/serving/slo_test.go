@@ -1,0 +1,157 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestSLOControllerShedAndReopen pins the budget machine: shedding starts
+// exactly at budget misses in-window, stays while they are fresh, and
+// admission reopens once enough misses age out.
+func TestSLOControllerShedAndReopen(t *testing.T) {
+	c := newSLOController(3, 10*time.Second)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		c.recordMiss(7, t0.Add(time.Duration(i)*time.Second))
+	}
+	if _, shed := c.shed(7, t0.Add(2*time.Second)); shed {
+		t.Fatal("shed below budget")
+	}
+	c.recordMiss(7, t0.Add(2*time.Second))
+	if _, shed := c.shed(7, t0.Add(2*time.Second)); !shed {
+		t.Fatal("no shed at budget")
+	}
+	// Another class is untouched.
+	if _, shed := c.shed(8, t0.Add(2*time.Second)); shed {
+		t.Fatal("shed leaked across classes")
+	}
+	// The oldest miss (t0) ages out at t0+10s: count drops to 2 < 3.
+	if _, shed := c.shed(7, t0.Add(10*time.Second)); shed {
+		t.Fatal("still shedding after the window slid")
+	}
+}
+
+// TestSLORetryAfterFromBudgetWindow is the satellite bugfix regression:
+// Retry-After must be the time until the class's miss count drops below
+// budget — NOT a queue-drain estimate. With budget 2 and misses at t0 and
+// t0+8s in a 10s window, admission reopens when the t0 miss ages out at
+// t0+10s; asked at t0+8s, the hint must be ~2s (a drain-based hint with an
+// empty queue would say 1).
+func TestSLORetryAfterFromBudgetWindow(t *testing.T) {
+	c := newSLOController(2, 10*time.Second)
+	t0 := time.Unix(2000, 0)
+	c.recordMiss(1, t0)
+	c.recordMiss(1, t0.Add(8*time.Second))
+	retry, shed := c.shed(1, t0.Add(8*time.Second))
+	if !shed {
+		t.Fatal("budget 2 with 2 misses must shed")
+	}
+	if retry != 2 {
+		t.Fatalf("Retry-After %d, want 2 (t0 miss ages out 2s from now)", retry)
+	}
+	// Over-budget: with a THIRD miss, reopening needs the two oldest out.
+	c.recordMiss(1, t0.Add(9*time.Second))
+	retry, shed = c.shed(1, t0.Add(9*time.Second))
+	if !shed || retry != 9 {
+		t.Fatalf("Retry-After %d, want 9 (must wait for m[1]=t0+8s to age out)", retry)
+	}
+}
+
+// sloServer builds a live server with a tiny SLO budget.
+func sloServer(t *testing.T, budget int, window time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2), core.Options{Seed: 1, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sched.CostFunc(func(l, b int) time.Duration { return time.Duration(l*b) * time.Microsecond })
+	srv, err := NewServer(ServerConfig{
+		Engine:    engine,
+		Scheduler: &sched.DPScheduler{Cost: cost, MaxBatch: 8},
+		MaxBatch:  8,
+		SLOBudget: budget,
+		SLOWindow: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// TestSLOShedsAtAdmission exhausts class 5's budget (misses injected
+// straight into the controller — the dispatcher paths feed it the same
+// way) and checks the front door: class 5 is refused with 504 and a
+// Retry-After BEFORE any work is admitted, other classes pass, and the
+// shed shows up in /v1/stats as jobs_shed_slo.
+func TestSLOShedsAtAdmission(t *testing.T) {
+	srv, ts := sloServer(t, 2, 5*time.Second)
+	now := time.Now()
+	c := srv.slo.Load()
+	c.recordMiss(5, now)
+	c.recordMiss(5, now)
+
+	post := func(priority int) *http.Response {
+		body, _ := json.Marshal(map[string]interface{}{"text": "hello", "priority": priority})
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := post(5)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("exhausted class: status %d, want 504", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("shed 504 must carry a positive Retry-After, got %q", resp.Header.Get("Retry-After"))
+	}
+	if resp2 := post(0); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthy class: status %d, want 200", resp2.StatusCode)
+	}
+	if got := srv.statsSnapshot().JobsShedSLO; got != 1 {
+		t.Fatalf("jobs_shed_slo = %d, want 1", got)
+	}
+}
+
+// TestSLODisabledByDefault: without a budget nothing is ever shed and the
+// generate path also passes through.
+func TestSLODisabledByDefault(t *testing.T) {
+	engine, err := core.NewEngine(model.BertBase().Scaled(32, 4, 64, 2), core.Options{Seed: 1, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sched.CostFunc(func(l, b int) time.Duration { return time.Duration(l*b) * time.Microsecond })
+	srv, err := NewServer(ServerConfig{
+		Engine:    engine,
+		Scheduler: &sched.DPScheduler{Cost: cost, MaxBatch: 8},
+		MaxBatch:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.slo.Load() != nil {
+		t.Fatal("controller attached without a budget")
+	}
+	rec := httptest.NewRecorder()
+	if srv.shedSLO(rec, 3) {
+		t.Fatal("shed without a controller")
+	}
+}

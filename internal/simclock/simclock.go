@@ -113,6 +113,70 @@ func (s *Sim) PoissonArrivals(rate float64, seed int64, until float64, fn func(i
 	}
 }
 
+// VaryingArrivals schedules fn for each arrival of a NON-homogeneous
+// Poisson process whose instantaneous rate is rate(t) events/second, from
+// the current time until the limit — the diurnal and flash-crowd traces
+// the autoscaler is validated against. Implemented by thinning (Lewis &
+// Shedler): candidates arrive at the constant maxRate and are kept with
+// probability rate(t)/maxRate, so the sequence is fully determined by
+// seed. rate(t) exceeding maxRate is a modelling bug and panics.
+func (s *Sim) VaryingArrivals(rate func(t float64) float64, maxRate float64, seed int64, until float64, fn func(i int64)) {
+	if maxRate <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := s.now
+	var i int64
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t > until {
+			return
+		}
+		r := rate(t)
+		if r > maxRate {
+			panic("simclock: rate(t) exceeds maxRate — thinning bound violated")
+		}
+		if r > 0 && rng.Float64()*maxRate < r {
+			idx := i
+			s.At(t, func() { fn(idx) })
+			i++
+		}
+	}
+}
+
+// DiurnalRate returns a day-shaped rate curve for VaryingArrivals: a raised
+// cosine oscillating between base (trough, at t=0) and peak with the given
+// period. base may be 0 (dead of night).
+func DiurnalRate(base, peak, period float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		phase := 0.5 * (1 - math.Cos(2*math.Pi*t/period))
+		return base + (peak-base)*phase
+	}
+}
+
+// FlashCrowdRate returns a flash-crowd rate curve for VaryingArrivals:
+// steady base load, a linear ramp to peak over rampUp seconds starting at
+// start, hold seconds at peak, then a linear ramp back down over rampDown
+// seconds — the trace shape that punishes both fixed under-provisioning
+// (misses during the crowd) and fixed over-provisioning (idle replicas the
+// rest of the run).
+func FlashCrowdRate(base, peak, start, rampUp, hold, rampDown float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		switch {
+		case t < start:
+			return base
+		case t < start+rampUp:
+			return base + (peak-base)*(t-start)/rampUp
+		case t < start+rampUp+hold:
+			return peak
+		case t < start+rampUp+hold+rampDown:
+			return peak - (peak-base)*(t-start-rampUp-hold)/rampDown
+		default:
+			return base
+		}
+	}
+}
+
 // LatencyStats accumulates response-latency statistics online. Samples are
 // retained so tail percentiles — the metric replica routing is judged by —
 // can be computed after the run.

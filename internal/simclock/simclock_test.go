@@ -150,3 +150,77 @@ func TestLatencyStats(t *testing.T) {
 		t.Fatalf("avg: %v", l.Avg())
 	}
 }
+
+// Property: thinned non-homogeneous arrivals concentrate near ∫rate dt per
+// segment — here a flash crowd whose three phases have known areas.
+func TestQuickVaryingArrivalsRate(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New()
+		const base, peak = 40.0, 400.0
+		// base for 5s, ramp 1s, hold 3s at peak, ramp 1s, base for 5s.
+		rate := FlashCrowdRate(base, peak, 5, 1, 3, 1)
+		var before, during, after int
+		s.VaryingArrivals(rate, peak, seed, 15, func(i int64) {
+			switch now := s.Now(); {
+			case now < 5:
+				before++
+			case now <= 10:
+				during++
+			default:
+				after++
+			}
+		})
+		s.Run(15)
+		okSeg := func(count int, mean float64) bool {
+			dev := 5 * math.Sqrt(mean)
+			return float64(count) > mean-dev && float64(count) < mean+dev
+		}
+		// Areas: 5·base; ramps contribute (base+peak)/2 each plus 3·peak; 5·base.
+		return okSeg(before, 5*base) && okSeg(during, (base+peak)+3*peak) && okSeg(after, 5*base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// VaryingArrivals with the same seed is bit-deterministic, and a rate above
+// the thinning bound panics.
+func TestVaryingArrivalsDeterminismAndBound(t *testing.T) {
+	times := func() []float64 {
+		s := New()
+		var ts []float64
+		s.VaryingArrivals(DiurnalRate(10, 100, 20), 100, 7, 20, func(i int64) { ts = append(ts, s.Now()) })
+		s.Run(20)
+		return ts
+	}
+	a, b := times(), times()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate above maxRate did not panic")
+		}
+	}()
+	s := New()
+	s.VaryingArrivals(func(float64) float64 { return 50 }, 10, 1, 5, func(int64) {})
+}
+
+// DiurnalRate troughs at t=0 and peaks at half period.
+func TestDiurnalRateShape(t *testing.T) {
+	r := DiurnalRate(2, 10, 8)
+	if got := r(0); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("trough: %v", got)
+	}
+	if got := r(4); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("peak: %v", got)
+	}
+	if got := r(8); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("full period: %v", got)
+	}
+}

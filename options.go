@@ -3,8 +3,10 @@ package turbo
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -30,6 +32,12 @@ type runtimeConfig struct {
 	routeCost sched.RouteCostModel
 	roles     []serving.ReplicaRole
 	roleCosts sched.RoleCosts
+
+	// Elastic autoscaling and SLO overload control.
+	autoMin, autoMax int
+	autoTick         time.Duration
+	sloBudget        int
+	sloWindow        time.Duration
 
 	// Generation.
 	genDecCfg        *Config
@@ -189,6 +197,46 @@ func WithSchedulerFactory(f func() Scheduler) Option {
 	return func(c *runtimeConfig) { c.schedulerFactory = f }
 }
 
+// WithAutoscale serves through an ELASTIC replica fleet: the front door is
+// a router that starts at min replicas and a background control loop
+// (internal/autoscale) samples its aggregated load signals — queue depth,
+// drain rate, paged-KV occupancy, reserved decode tokens — every tick and
+// attaches or retires replicas between min and max. Scale-up attaches a
+// warm spare built in the background from the same resolved configuration;
+// scale-down drains the least-loaded replica to exactly zero before it
+// stops billing (no accepted job is ever lost). Hysteresis — separate
+// up/down thresholds, consecutive-tick streaks, cool-down — makes flapping
+// impossible by construction. Incompatible with WithReplicas and
+// WithReplicaRoles (an elastic fleet sizes itself, and role-tagged fleets
+// are fixed-topology).
+func WithAutoscale(min, max int) Option {
+	return func(c *runtimeConfig) {
+		c.autoMin = min
+		c.autoMax = max
+	}
+}
+
+// WithAutoscaleTick sets the autoscale control-loop sampling period
+// (default 250ms, the drain meter's window). Only meaningful with
+// WithAutoscale.
+func WithAutoscaleTick(d time.Duration) Option {
+	return func(c *runtimeConfig) { c.autoTick = d }
+}
+
+// WithSLOBudget enables per-priority-class overload control at admission:
+// when a priority class accumulates budget deadline misses inside the
+// sliding window (fleet-wide — a routed front door counts misses across
+// every replica), further jobs of that class are shed with 504 BEFORE any
+// work is done, with a Retry-After derived from when the class's oldest
+// counted miss ages out of the window. window ≤ 0 uses
+// serving.DefaultSLOWindow.
+func WithSLOBudget(budget int, window time.Duration) Option {
+	return func(c *runtimeConfig) {
+		c.sloBudget = budget
+		c.sloWindow = window
+	}
+}
+
 // Runtime is the assembled inference stack behind the unified API: the
 // classify engine, optionally the generation engine, and the resolved
 // configuration a Serve call turns into a live server.
@@ -286,38 +334,35 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
+	elastic := rc.autoMin != 0 || rc.autoMax != 0
+	var ctrl *autoscale.Controller
+	if elastic {
+		if len(rc.roles) > 0 {
+			return nil, fmt.Errorf("turbo: WithAutoscale is incompatible with WithReplicaRoles (a role-tagged fleet is fixed-topology)")
+		}
+		if rc.replicas > 0 {
+			return nil, fmt.Errorf("turbo: WithAutoscale is incompatible with WithReplicas (the controller sizes the fleet; pass the bounds to WithAutoscale)")
+		}
+		var err error
+		if ctrl, err = autoscale.New(autoscale.Config{Min: rc.autoMin, Max: rc.autoMax, Tick: rc.autoTick}); err != nil {
+			return nil, err
+		}
+		replicas = rc.autoMin
+	}
 	if n := len(rc.roles); n > 0 && n != replicas {
 		return nil, fmt.Errorf("turbo: WithReplicaRoles got %d roles for %d replicas (pass WithReplicas(%d), one role per replica)", n, replicas, n)
 	}
 	if len(rc.roles) > 0 && replicas == 1 {
 		return nil, fmt.Errorf("turbo: WithReplicaRoles needs WithReplicas(n) with n > 1 — one replica has nothing to hand off to")
 	}
-	servers := make([]*serving.Server, 0, replicas)
-	fail := func(err error) (Service, error) {
-		for _, s := range servers {
-			s.Close()
-		}
-		return nil, err
-	}
-	for i := 0; i < replicas; i++ {
-		engine, genEngine := rt.Engine, rt.GenEngine
-		if i > 0 {
-			// Extra replicas are built from the NewRuntime-time engine
-			// options (rt.resolved), NOT the Serve-time overrides: replica 0
-			// is rt.Engine, which those overrides cannot rebuild, so letting
-			// them shape replicas 1..n-1 would give replicas different
-			// weights and let routing change answers. Serve-time options may
-			// only adjust the serving layer.
-			var err error
-			if engine, err = core.NewEngine(rt.modelCfg, rt.resolved.engine); err != nil {
-				return fail(err)
-			}
-			if rt.resolved.genDecCfg != nil {
-				if genEngine, err = core.NewGenEngine(rt.modelCfg, *rt.resolved.genDecCfg, rt.resolved.engine); err != nil {
-					return fail(err)
-				}
-			}
-		}
+	// An elastic fleet is routed even at Min=1: replicas come and go behind
+	// the same front door.
+	routed := replicas > 1 || elastic
+
+	// buildServer assembles one serving replica over already-built engines.
+	// A routed fleet carries the SLO budget on the ROUTER (one shared
+	// fleet-wide controller, front door at the router), not per replica.
+	buildServer := func(engine *Engine, genEngine *GenEngine) (*serving.Server, error) {
 		cfg := serving.ServerConfig{
 			Engine:      engine,
 			Scheduler:   newScheduler(),
@@ -326,19 +371,61 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 			BatchWindow: rc.batchWindow,
 			QueueDepth:  rc.queueDepth,
 		}
+		if !routed {
+			cfg.SLOBudget = rc.sloBudget
+			cfg.SLOWindow = rc.sloWindow
+		}
 		if genEngine != nil {
 			cfg.GenEngine = genEngine
 			cfg.GenMaxBatch = rc.genMaxBatch
 			cfg.GenTokenBudget = rc.genTokenBudget
 			cfg.GenDefaultMaxNew = rc.genDefaultMaxNew
 		}
-		srv, err := serving.NewServer(cfg)
+		return serving.NewServer(cfg)
+	}
+	// buildReplica builds a replica from scratch — fresh engines with the
+	// NewRuntime-time engine options (rt.resolved), NOT the Serve-time
+	// overrides: replica 0 is rt.Engine, which those overrides cannot
+	// rebuild, so letting them shape later replicas would give replicas
+	// different weights and let routing change answers. Serve-time options
+	// may only adjust the serving layer. The autoscaler reuses this closure
+	// as its warm-spare factory: every replica it ever attaches is built
+	// exactly like the seed fleet.
+	buildReplica := func() (*serving.Server, error) {
+		engine, err := core.NewEngine(rt.modelCfg, rt.resolved.engine)
+		if err != nil {
+			return nil, err
+		}
+		var genEngine *GenEngine
+		if rt.resolved.genDecCfg != nil {
+			if genEngine, err = core.NewGenEngine(rt.modelCfg, *rt.resolved.genDecCfg, rt.resolved.engine); err != nil {
+				return nil, err
+			}
+		}
+		return buildServer(engine, genEngine)
+	}
+
+	servers := make([]*serving.Server, 0, replicas)
+	fail := func(err error) (Service, error) {
+		for _, s := range servers {
+			s.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < replicas; i++ {
+		var srv *serving.Server
+		var err error
+		if i == 0 {
+			srv, err = buildServer(rt.Engine, rt.GenEngine)
+		} else {
+			srv, err = buildReplica()
+		}
 		if err != nil {
 			return fail(err)
 		}
 		servers = append(servers, srv)
 	}
-	if replicas == 1 {
+	if !routed {
 		// Single replica keeps the PR-4 fast path: no router in front.
 		return servers[0], nil
 	}
@@ -347,11 +434,57 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 		Cost:      rc.routeCost,
 		Roles:     rc.roles,
 		RoleCosts: rc.roleCosts,
+		SLOBudget: rc.sloBudget,
+		SLOWindow: rc.sloWindow,
 	}, servers...)
 	if err != nil {
 		return fail(err)
 	}
-	return router, nil
+	if !elastic {
+		return router, nil
+	}
+	scaler := serving.NewRouterScaler(router, buildReplica)
+	loopCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctrl.Run(loopCtx, scaler)
+	}()
+	return &elasticService{Router: router, scaler: scaler, cancel: cancel, done: done}, nil
+}
+
+// elasticService is the Service an autoscaled Serve returns: the routed
+// front door plus its running control loop. Stopping the service stops the
+// loop FIRST and joins it (so no scale action can race the drain), closes
+// the warm spare, then stops the router.
+type elasticService struct {
+	*serving.Router
+	scaler *serving.RouterScaler
+	cancel context.CancelFunc
+	done   chan struct{}
+	stop   sync.Once
+}
+
+// stopLoop cancels the control loop, waits for it to exit, and releases
+// the scaler's warm spare. Idempotent: Shutdown and Close may both run.
+func (e *elasticService) stopLoop() {
+	e.stop.Do(func() {
+		e.cancel()
+		<-e.done
+		e.scaler.Close()
+	})
+}
+
+// Shutdown stops the control loop, then gracefully drains the fleet.
+func (e *elasticService) Shutdown(ctx context.Context) error {
+	e.stopLoop()
+	return e.Router.Shutdown(ctx)
+}
+
+// Close stops the control loop, then aborts the fleet.
+func (e *elasticService) Close() {
+	e.stopLoop()
+	e.Router.Close()
 }
 
 // Serve builds a runtime for cfg and starts the serving framework in one

@@ -272,7 +272,15 @@ var (
 	ErrServerClosed = serving.ErrServerClosed
 	// ErrJobDeadlineExceeded fails jobs dropped past their deadline.
 	ErrJobDeadlineExceeded = serving.ErrDeadlineExceeded
+	// ErrSLOShed refuses a job at admission because its priority class has
+	// exhausted its deadline-miss budget (WithSLOBudget); mapped to 504
+	// with a budget-window Retry-After.
+	ErrSLOShed = serving.ErrSLOShed
 )
+
+// DefaultSLOWindow is the sliding window WithSLOBudget counts deadline
+// misses over when no window is given.
+const DefaultSLOWindow = serving.DefaultSLOWindow
 
 // NewServer starts the serving framework's dispatchers over an
 // already-built engine.

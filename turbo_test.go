@@ -239,9 +239,87 @@ func TestFacadeServeReplicated(t *testing.T) {
 	}
 }
 
+// TestFacadeServeAutoscale: WithAutoscale returns a routed elastic service
+// that serves traffic, reports the elastic counters in /v1/stats, and
+// shuts down cleanly with the control loop stopped first.
+func TestFacadeServeAutoscale(t *testing.T) {
+	encCfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	srv, err := turbo.Serve(encCfg,
+		turbo.WithSeed(3),
+		turbo.WithClasses(3),
+		turbo.WithAutoscale(1, 3),
+		turbo.WithAutoscaleTick(10*time.Millisecond),
+		turbo.WithSLOBudget(50, time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bare := srv.(*turbo.Server); bare {
+		t.Fatal("autoscaled Serve returned a bare *Server — elastic fleets must be routed")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		body, _ := json.Marshal(map[string]string{"text": fmt.Sprintf("elastic request %d", i)})
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Served         int64 `json:"served"`
+		ReplicasActive int   `json:"replicas_active"`
+		JobsShedSLO    int64 `json:"jobs_shed_slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Served != 6 || stats.ReplicasActive < 1 || stats.ReplicasActive > 3 {
+		t.Fatalf("elastic stats: %+v", stats)
+	}
+	if stats.JobsShedSLO != 0 {
+		t.Fatalf("healthy run shed %d jobs", stats.JobsShedSLO)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// Close after Shutdown must be safe (both stop the control loop).
+	srv.Close()
+}
+
+// TestFacadeAutoscaleValidation pins the option conflicts: autoscale is
+// exclusive with fixed replica counts and with role-tagged fleets, and bad
+// bounds surface at Serve.
+func TestFacadeAutoscaleValidation(t *testing.T) {
+	cfg := turbo.BertBase().Scaled(32, 4, 64, 2)
+	if _, err := turbo.Serve(cfg, turbo.WithClasses(2),
+		turbo.WithAutoscale(2, 4), turbo.WithReplicas(2)); err == nil {
+		t.Fatal("WithAutoscale + WithReplicas accepted")
+	}
+	if _, err := turbo.Serve(cfg, turbo.WithClasses(2),
+		turbo.WithAutoscale(3, 1)); err == nil {
+		t.Fatal("Min > Max accepted")
+	}
+	if _, err := turbo.Serve(cfg, turbo.WithClasses(2),
+		turbo.WithAutoscale(2, 4),
+		turbo.WithReplicaRoles(turbo.RolePrefill, turbo.RoleDecode)); err == nil {
+		t.Fatal("WithAutoscale + WithReplicaRoles accepted")
+	}
+}
+
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := turbo.Experiments()
-	if len(ids) != 26 { // 16 paper artefacts + gen-serving + var-length + gen-decode + replica-routing + prefix-cache + fp16-path + disagg-routing + 3 extras
+	if len(ids) != 27 { // 16 paper artefacts + gen-serving + var-length + gen-decode + replica-routing + prefix-cache + fp16-path + disagg-routing + autoscale + 3 extras
 		t.Fatalf("experiments: %v", ids)
 	}
 	var buf bytes.Buffer
