@@ -27,14 +27,14 @@ type BlockPool struct {
 	blockBytes int64
 	capBlocks  int
 
-	freeList []*Block
-	used     int // blocks currently held by ≥1 holder
-	shared   int // blocks currently held by ≥2 holders
-	carved   int // blocks ever Malloc'd from the device
+	freeList []*Block // guarded by mu
+	used     int      // blocks currently held by ≥1 holder; guarded by mu
+	shared   int      // blocks currently held by ≥2 holders; guarded by mu
+	carved   int      // blocks ever Malloc'd from the device; guarded by mu
 
-	peakUsed   int
-	peakShared int
-	cowCopies  int64 // blocks allocated to replace a shared one (copy-on-write)
+	peakUsed   int   // guarded by mu
+	peakShared int   // guarded by mu
+	cowCopies  int64 // blocks allocated to replace a shared one (copy-on-write); guarded by mu
 }
 
 // Block is one fixed-size pool block. Its reference count is managed by

@@ -65,20 +65,20 @@ func (b *Buffer) DataU16() []uint16 {
 // from worker goroutines while /v1/stats snapshots concurrently.
 type Device struct {
 	mu         sync.Mutex
-	live       int64
-	peak       int64
-	allocCount int64
-	freeCount  int64
-	allocBytes int64
-	freeBytes  int64
+	live       int64 // guarded by mu
+	peak       int64 // guarded by mu
+	allocCount int64 // guarded by mu
+	freeCount  int64 // guarded by mu
+	allocBytes int64 // guarded by mu
+	freeBytes  int64 // guarded by mu
 
 	// KV-cache gauges, maintained by the generation path: kvReserved is the
 	// worst-case bytes admission control has committed to (KV caches are
 	// reserved for a session's whole token budget up front), kvUsed the
 	// bytes actually holding generated context. The gap between the two is
 	// the admission-control safety margin.
-	kvReserved int64
-	kvUsed     int64
+	kvReserved int64 // guarded by mu
+	kvUsed     int64 // guarded by mu
 }
 
 // NewDevice returns an empty device-memory tracker.

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflowBlockingScope are the packages whose exported blocking entry
+// points must accept a context — the PR 4 contract: a caller must always be
+// able to cancel or deadline a wait on the serving path.
+var ctxflowBlockingScope = map[string]bool{
+	"repro/internal/serving": true,
+	"repro/internal/core":    true,
+}
+
+// ctxflowExemptMethods are signatures fixed by standard interfaces: Close
+// comes from io.Closer, ServeHTTP carries its context inside *http.Request.
+var ctxflowExemptMethods = map[string]bool{
+	"Close":     true,
+	"ServeHTTP": true,
+}
+
+// CtxFlow enforces the context-threading contract.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `serving entry points must thread context.Context
+
+Two rules. (1) In repro/internal/serving and repro/internal/core, an
+exported function or method whose body blocks (channel send/receive,
+select, WaitGroup-style .Wait(), time.Sleep) must take a context.Context
+first parameter, so callers can cancel the wait — the PR 4 lifecycle
+contract. (2) context.Background()/context.TODO() are forbidden outside
+cmd/, examples/, and tests: library code must thread the caller's context,
+not mint an uncancellable root. Deliberate roots (the one process-lifetime
+context a server owns) are annotated //turbovet:allow ctxflow.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	checkBackground := !strings.HasPrefix(pass.PkgPath, "repro/cmd/") &&
+		!strings.HasPrefix(pass.PkgPath, "repro/examples/")
+	checkBlocking := ctxflowBlockingScope[pass.PkgPath]
+
+	for _, f := range pass.Files {
+		if checkBackground {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch pass.PkgFunc(call.Fun, "context") {
+				case "Background", "TODO":
+					pass.Reportf(call.Pos(), "context.%s mints an uncancellable root in library code; thread the caller's ctx (or annotate the one deliberate process root with //turbovet:allow ctxflow)", pass.PkgFunc(call.Fun, "context"))
+				}
+				return true
+			})
+		}
+		if !checkBlocking {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || ctxflowExemptMethods[fd.Name.Name] {
+				continue
+			}
+			if fd.Recv != nil && !exportedRecv(fd.Recv) {
+				continue
+			}
+			if firstParamIsContext(pass, fd) {
+				continue
+			}
+			if pos, what := blockingOp(pass, fd.Body); pos != token.NoPos {
+				pass.Reportf(fd.Name.Pos(), "exported %s blocks (%s at %s) but does not take a context.Context first parameter — callers cannot cancel the wait; thread ctx or annotate //turbovet:allow ctxflow", describeFunc(fd), what, pass.Fset.Position(pos))
+			}
+		}
+	}
+	return nil
+}
+
+func describeFunc(fd *ast.FuncDecl) string {
+	if fd.Recv == nil {
+		return "function " + fd.Name.Name
+	}
+	return "method " + fd.Name.Name
+}
+
+// exportedRecv reports whether the receiver's named type is exported —
+// exported methods on unexported types are not package API.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func firstParamIsContext(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	if params.Len() == 0 {
+		return false
+	}
+	named, ok := params.At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}
+
+// blockingOp finds the first operation in body that can block the caller
+// indefinitely: channel send/receive, select, a .Wait() call, time.Sleep.
+// Bodies of `go`-launched function literals are skipped — they block their
+// own goroutine, not the caller.
+func blockingOp(pass *Pass, body *ast.BlockStmt) (token.Pos, string) {
+	pos, what := token.NoPos, ""
+	var skip []ast.Node // go-statement function literals
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || pos != token.NoPos {
+			return false
+		}
+		for _, s := range skip {
+			if n == s {
+				return false
+			}
+		}
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				skip = append(skip, lit.Body)
+			}
+		case *ast.SendStmt:
+			pos, what = v.Pos(), "channel send"
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pos, what = v.Pos(), "channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			// A select with a default case polls; without one it blocks.
+			// The polling select's whole subtree is skipped — its comm
+			// expressions are non-blocking by construction.
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return false
+				}
+			}
+			pos, what = v.Pos(), "select"
+			return false
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(v.Args) == 0 {
+				pos, what = v.Pos(), sel.Sel.Name+"()"
+				return false
+			}
+			if pass.PkgFunc(v.Fun, "time") == "Sleep" {
+				pos, what = v.Pos(), "time.Sleep"
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what
+}

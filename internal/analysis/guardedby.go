@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces "// guarded by <mu>" field annotations.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: `fields annotated "// guarded by <mu>" are only touched under that mutex
+
+A struct field whose doc or line comment contains "guarded by <name>" may
+only be read or written, within the declaring package, inside functions
+that lock <name> (a call to <name>.Lock or <name>.RLock anywhere in the
+function or an enclosing function literal's host). Functions whose name
+ends in "Locked" assert the caller holds the lock and are exempt.
+Deliberate lock-free accesses (construction before publication, atomic
+snapshots) are annotated //turbovet:allow guardedby.`,
+	Run: runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runGuardedBy(pass *Pass) error {
+	// Pass 1: collect annotated fields — map from the field's types.Var to
+	// the guarding mutex's field name.
+	guards := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass 2: inside every function, flag guarded-field selector accesses
+	// when the function (or an enclosing one — closures inherit their
+	// host's locks) never locks the named mutex.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-lock convention
+			}
+			locked := lockedMutexes(fd.Body)
+			checkGuarded(pass, guards, fd.Name.Name, fd.Body, locked)
+		}
+	}
+	return nil
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "" when unannotated.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes collects the names of mutexes this body locks: the final
+// selector component X in calls shaped <expr>.X.Lock() / <expr>.X.RLock()
+// (or a bare X.Lock()).
+func lockedMutexes(body ast.Node) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// checkGuarded reports guarded-field accesses in body not covered by the
+// accumulated locked set. Function literals are descended into with the
+// host's locks inherited — a closure running under its host's critical
+// section must not re-lock — plus whatever they lock themselves.
+func checkGuarded(pass *Pass, guards map[types.Object]string, funcName string, body ast.Node, locked map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			inner := lockedMutexes(v.Body)
+			for name := range locked {
+				inner[name] = true
+			}
+			checkGuarded(pass, guards, funcName, v.Body, inner)
+			return false
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[v]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			mu, guarded := guards[sel.Obj()]
+			if !guarded || locked[mu] {
+				return true
+			}
+			pass.Reportf(v.Sel.Pos(), "field %s is annotated \"guarded by %s\" but %s does not lock %s; take the lock, rename the function with a Locked suffix, or annotate //turbovet:allow guardedby", v.Sel.Name, mu, funcName, mu)
+		}
+		return true
+	})
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kvChargeMethods are the charge-style calls: they acquire a reference or
+// device bytes that some later Release/Free must return. Matched by method
+// name — in this repo that is allocator.BlockPool.Retain, allocator.Device.
+// Malloc, and any future Charge-named API.
+var kvChargeMethods = map[string]bool{
+	"Retain": true,
+	"Malloc": true,
+	"Charge": true,
+}
+
+// kvReleaseMethods are the refund-side calls. A function that contains any
+// of them (directly or deferred) is assumed to pair its charges — the
+// analyzer is a leak tripwire, not an escape analysis.
+var kvReleaseMethods = map[string]bool{
+	"Release":    true,
+	"ReleaseAll": true,
+	"Free":       true,
+	"Refund":     true,
+	"Close":      true,
+	"Put":        true,
+	"Drop":       true,
+}
+
+// KVBalance flags functions that charge and neither release nor hand off.
+var KVBalance = &Analyzer{
+	Name: "kvbalance",
+	Doc: `Retain/Malloc-style charges must be released or handed off
+
+The PR 6 leak class: a BlockPool.Retain or Device.Malloc whose reference
+never reaches a Release/Free and never escapes the function leaks device
+accounting that only BlockPool.Close's leak panic catches, long after the
+cause. A charge is considered balanced when the function also calls a
+release-family method (Release/Free/Refund/Close/Put), or the charged value
+is handed off: returned, stored into a field or slot, sent, or passed on to
+another call. A result-less Retain counts as handed off when the function
+also stores into owner state (the retained block is being recorded in a
+table). Deliberate imbalances — ownership transferred by contract —
+are annotated //turbovet:allow kvbalance.`,
+	Run: runKVBalance,
+}
+
+func runKVBalance(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKVBalance(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkKVBalance(pass *Pass, fd *ast.FuncDecl) {
+	// Collect the function's charge calls, and bail out early on any
+	// release-family call: the function visibly participates in refunding.
+	var charges []*ast.CallExpr
+	hasRelease := false
+	storesToOwner := false // any `x.f = ...` / `x[i] = ...` style store
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if kvChargeMethods[sel.Sel.Name] {
+					charges = append(charges, v)
+				}
+				if kvReleaseMethods[sel.Sel.Name] {
+					hasRelease = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					storesToOwner = true
+				}
+			}
+		}
+		return true
+	})
+	if len(charges) == 0 || hasRelease {
+		return
+	}
+
+	parents := parentMap(fd.Body)
+	for _, c := range charges {
+		resultless := false
+		if tv, ok := pass.TypesInfo.Types[c]; ok && tv.IsVoid() {
+			resultless = true
+		}
+		if resultless {
+			// Retain-style: the charge mutates a refcount. Handed off iff
+			// the function records the reference somewhere (stores into a
+			// field, slice slot, or map).
+			if !storesToOwner {
+				name := c.Fun.(*ast.SelectorExpr).Sel.Name
+				pass.Reportf(c.Pos(), "%s charges a reference that this function neither releases nor records anywhere — a return here leaks the refcount until Close's leak panic; pair it with a Release/store or annotate //turbovet:allow kvbalance", name)
+			}
+			continue
+		}
+		if !chargePublished(pass, fd.Body, parents, c) {
+			name := c.Fun.(*ast.SelectorExpr).Sel.Name
+			pass.Reportf(c.Pos(), "the value charged by %s is neither released, returned, stored, nor passed on — every return path leaks it; add the matching Release/Free, hand it off, or annotate //turbovet:allow kvbalance", name)
+		}
+	}
+}
+
+// chargePublished reports whether the charge call's result escapes the
+// function: used directly in a publish position (returned, composite-lit
+// element, argument to another call, channel send, stored to a field or
+// slot), or bound to a local that later appears in one.
+func chargePublished(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, c *ast.CallExpr) bool {
+	pub, obj := publishOrBind(pass, parents, c)
+	if pub {
+		return true
+	}
+	if obj == nil {
+		return false
+	}
+	// Bound to local obj: published if any other use of obj sits in a
+	// publish position.
+	published := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if published {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if p, _ := publishOrBind(pass, parents, id); p {
+			published = true
+		}
+		return true
+	})
+	return published
+}
+
+// publishOrBind classifies the position of expr inside its statement. It
+// returns pub=true when the position hands the value off, or the local
+// *types.Var the value is bound to when the position is `x := expr` /
+// `x = expr` with x a plain identifier. (false, nil) means the value is
+// consumed without escaping — e.g. a bare expression statement.
+func publishOrBind(pass *Pass, parents map[ast.Node]ast.Node, expr ast.Node) (bool, types.Object) {
+	child := expr
+	for node := parents[child]; node != nil; child, node = node, parents[node] {
+		switch p := node.(type) {
+		case *ast.CallExpr:
+			if p.Fun != child {
+				return true, nil // argument to another call
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			return true, nil
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs != child {
+					continue
+				}
+				// Match RHS i to its LHS (1:1 assigns; for a single
+				// multi-value RHS every LHS receives part of it).
+				var lhss []ast.Expr
+				if len(p.Rhs) == len(p.Lhs) {
+					lhss = []ast.Expr{p.Lhs[i]}
+				} else {
+					lhss = p.Lhs
+				}
+				for _, lhs := range lhss {
+					switch l := lhs.(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						return true, nil // stored into a field or slot
+					case *ast.Ident:
+						if obj := localObj(pass, l); obj != nil {
+							return false, obj
+						}
+					}
+				}
+				return false, nil
+			}
+			return false, nil
+		case *ast.ParenExpr, *ast.UnaryExpr, *ast.StarExpr:
+			continue // transparent wrappers: keep climbing
+		case ast.Stmt:
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// localObj resolves an identifier on an assignment LHS to its object,
+// whether this statement defines it (:=) or reuses it (=).
+func localObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path the package was loaded as
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages. One Loader shares a FileSet and
+// a source importer across every package it loads, so each dependency
+// (stdlib included — there is no export data in this container) is
+// type-checked from source exactly once per vet run.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader backed by the stdlib source importer. Module
+// path resolution goes through go/build, so loads must run from inside the
+// module being vetted.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadFiles parses the named files in dir and type-checks them as the
+// package import path asPath. Comments are kept — directives and
+// "guarded by" annotations live there.
+func (l *Loader) LoadFiles(dir, asPath string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(asPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", asPath, err)
+	}
+	return &Package{Path: asPath, Dir: dir, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadDir loads every non-test .go file in dir as the package asPath —
+// the fixture entry point (testdata directories are invisible to go list).
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.LoadFiles(dir, asPath, names)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// LoadPatterns expands go-list package patterns (e.g. "./...") relative to
+// rootDir and loads each matched package. Build-constrained and test files
+// are excluded exactly as the go tool excludes them.
+func (l *Loader) LoadPatterns(rootDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = rootDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.LoadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod — where turbo-vet
+// and the smoke test anchor their ./... loads.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatsSync cross-checks the /v1/stats wire struct against the router's
+// aggregation. PRs 5, 8 and 9 each extended statsResponse and each had to
+// remember, by hand, to fold the new counters into aggregateStats — a field
+// that is summed nowhere silently reports zero on every multi-replica
+// deployment while looking perfectly healthy on one replica (the
+// "multi-replica stat drift" failure mode). The invariant: every
+// json-tagged field of statsResponse must be read or written somewhere in
+// aggregateStats (summed, maxed, or-ed, or recomputed — any mention
+// counts), or carry a //turbovet:allow statssync directive explaining why
+// aggregation skips it.
+var StatsSync = &Analyzer{
+	Name: "statssync",
+	Doc: `every json-tagged statsResponse field must be handled by aggregateStats
+
+A field added to the /v1/stats reply but not folded into the router's
+aggregateStats reports zero fleet-wide the moment a second replica exists.
+Fields aggregation deliberately skips are annotated on their declaration:
+//turbovet:allow statssync -- <why the aggregate omits this field>`,
+	Run: runStatsSync,
+}
+
+const (
+	statsStructName = "statsResponse"
+	statsAggName    = "aggregateStats"
+)
+
+func runStatsSync(pass *Pass) error {
+	// Locate the wire struct and the aggregator in this package; packages
+	// without the pair (everything but repro/internal/serving and the
+	// fixtures) are out of scope.
+	var structType *ast.StructType
+	var structPos *ast.TypeSpec
+	var aggFunc *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != statsStructName {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structType, structPos = st, ts
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == statsAggName {
+					aggFunc = d
+				}
+			}
+		}
+	}
+	if structType == nil {
+		return nil
+	}
+	if aggFunc == nil {
+		pass.Reportf(structPos.Pos(), "%s has json-tagged fields but this package defines no %s to fold them across replicas", statsStructName, statsAggName)
+		return nil
+	}
+
+	// The fields the wire format promises.
+	type field struct {
+		name string
+		pos  ast.Node
+		tag  string
+	}
+	var fields []field
+	for _, fld := range structType.Fields.List {
+		if fld.Tag == nil {
+			continue
+		}
+		tag := reflect.StructTag(strings.Trim(fld.Tag.Value, "`")).Get("json")
+		if tag == "" || strings.Split(tag, ",")[0] == "-" {
+			continue
+		}
+		for _, name := range fld.Names {
+			fields = append(fields, field{name.Name, name, strings.Split(tag, ",")[0]})
+		}
+	}
+
+	// Every statsResponse field mentioned anywhere in aggregateStats —
+	// read, written, summed, maxed — counts as handled.
+	handled := map[string]bool{}
+	ast.Inspect(aggFunc.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != statsStructName || named.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		handled[sel.Sel.Name] = true
+		return true
+	})
+
+	for _, fld := range fields {
+		if handled[fld.name] {
+			continue
+		}
+		pass.Reportf(fld.pos.Pos(), "field %s (json %q) is not summed, maxed, or recomputed in %s — it will read zero on any multi-replica deployment; fold it in or annotate //turbovet:allow statssync", fld.name, fld.tag, statsAggName)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Fixture: loaded as repro/cmd/turbo-x — cmd/ binaries own their roots and
+// are not serving entry points; identical code stays silent.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) {
+	done := make(chan struct{})
+	close(done)
+	<-done
+	_ = ctx
+}

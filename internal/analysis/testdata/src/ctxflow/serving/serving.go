@@ -1,0 +1,75 @@
+// Fixture: loaded as repro/internal/serving — the blocking-entry-point and
+// context.Background rules both apply.
+package serving
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Blocking exported method without ctx: the caller cannot cancel the wait.
+func (s *Server) Drain() { // want `exported method Drain blocks \(channel receive`
+	<-s.done
+}
+
+func (s *Server) Join() { // want `exported method Join blocks \(Wait\(\)`
+	s.wg.Wait()
+}
+
+// The fix: thread a context first.
+func (s *Server) DrainContext(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Unexported blocking helpers are internal plumbing, not entry points.
+func (s *Server) drain() {
+	<-s.done
+}
+
+// Exported but non-blocking: no context needed.
+func (s *Server) Depth() int {
+	return len(s.done)
+}
+
+// A polling select (default case) does not block.
+func (s *Server) Poll() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close comes from io.Closer — its signature is not ours to change.
+func (s *Server) Close() error {
+	<-s.done
+	return nil
+}
+
+// Work launched on its own goroutine blocks that goroutine, not the caller.
+func (s *Server) Start() {
+	go func() {
+		<-s.done
+	}()
+}
+
+// Library code must not mint uncancellable roots...
+func fallback() context.Context {
+	return context.Background() // want `context\.Background mints an uncancellable root`
+}
+
+// ...except the one deliberate process-lifetime root, annotated.
+func processRoot() context.Context {
+	return context.Background() //turbovet:allow ctxflow -- the server's one process-lifetime root
+}

@@ -1,0 +1,72 @@
+// Fixture: "// guarded by <mu>" field annotations.
+package a
+
+import "sync"
+
+type Router struct {
+	mu sync.Mutex
+	// retired accumulates final snapshots. guarded by mu
+	retired []int
+
+	setMu sync.RWMutex
+	live  []int // guarded by setMu
+
+	free int // unannotated: access anywhere
+}
+
+// Locked access: fine.
+func (r *Router) Add(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retired = append(r.retired, v)
+}
+
+// Read-locked access: fine.
+func (r *Router) Live() int {
+	r.setMu.RLock()
+	defer r.setMu.RUnlock()
+	return len(r.live)
+}
+
+// Unlocked access to a guarded field: flagged.
+func (r *Router) Leak() []int {
+	return r.retired // want `field retired is annotated "guarded by mu" but Leak does not lock mu`
+}
+
+// Locking the WRONG mutex does not cover the field.
+func (r *Router) Cross() []int {
+	r.setMu.RLock()
+	defer r.setMu.RUnlock()
+	return r.retired // want `field retired is annotated "guarded by mu" but Cross does not lock mu`
+}
+
+// The Locked-suffix convention asserts the caller holds the lock.
+func (r *Router) snapshotLocked() []int {
+	return r.retired
+}
+
+// A closure inherits its host's critical section.
+func (r *Router) Fold() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sum := 0
+	each := func() {
+		for _, v := range r.retired {
+			sum += v
+		}
+	}
+	each()
+	return sum
+}
+
+// Unannotated fields are free.
+func (r *Router) Free() int {
+	return r.free
+}
+
+// Deliberate pre-publication access, annotated.
+func NewRouter() *Router {
+	r := &Router{}
+	r.retired = make([]int, 0, 4) //turbovet:allow guardedby -- not yet published
+	return r
+}

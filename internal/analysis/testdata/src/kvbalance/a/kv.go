@@ -1,0 +1,88 @@
+// Fixture: charge/release balance over a miniature allocator shaped like
+// internal/allocator.
+package a
+
+type Buffer struct{ Size int64 }
+
+type Device struct{ live int64 }
+
+func (d *Device) Malloc(size int64) *Buffer { d.live += size; return &Buffer{Size: size} }
+func (d *Device) Free(b *Buffer)            { d.live -= b.Size }
+
+type Block struct{ ref int }
+
+type Pool struct{ blocks []*Block }
+
+func (p *Pool) Retain(b *Block)  { b.ref++ }
+func (p *Pool) Release(b *Block) { b.ref-- }
+
+// The leak class: charged, never released, never handed off.
+func leakDirect(d *Device) {
+	d.Malloc(64) // want `the value charged by Malloc is neither released, returned, stored, nor passed on`
+}
+
+func leakLocal(d *Device) int64 {
+	b := d.Malloc(64) // want `the value charged by Malloc is neither released, returned, stored, nor passed on`
+	_ = b
+	return 0
+}
+
+func leakRetain(p *Pool, b *Block) {
+	p.Retain(b) // want `Retain charges a reference that this function neither releases nor records`
+}
+
+// Balanced: released on the same path.
+func balanced(d *Device) {
+	b := d.Malloc(64)
+	d.Free(b)
+}
+
+// Balanced: deferred release.
+func deferred(d *Device) {
+	b := d.Malloc(64)
+	defer d.Free(b)
+}
+
+type holder struct {
+	buf  *Buffer
+	bufs []*Buffer
+}
+
+// Hand-off: stored into a field — ownership moved to the holder.
+func storeField(d *Device, h *holder) {
+	h.buf = d.Malloc(64)
+}
+
+// Hand-off: appended into owner state via a local.
+func storeSlice(d *Device, h *holder) {
+	b := d.Malloc(64)
+	h.bufs = append(h.bufs, b)
+}
+
+// Hand-off: returned to the caller.
+func handOff(d *Device) *Buffer {
+	return d.Malloc(64)
+}
+
+// Hand-off: nested in a composite literal.
+func wrapped(d *Device) *holder {
+	return &holder{buf: d.Malloc(64)}
+}
+
+// Hand-off: passed on to another function.
+func passedOn(d *Device, h *holder) {
+	adopt(h, d.Malloc(64))
+}
+
+func adopt(h *holder, b *Buffer) { h.buf = b }
+
+// Retain hand-off: the reference is recorded in owner state.
+func retainRecorded(p *Pool, dst *Pool, b *Block) {
+	p.Retain(b)
+	dst.blocks = append(dst.blocks, b)
+}
+
+// Deliberate imbalance, annotated: ownership transferred by contract.
+func adopted(d *Device) {
+	d.Malloc(64) //turbovet:allow kvbalance -- ownership recorded by the caller's ledger
+}

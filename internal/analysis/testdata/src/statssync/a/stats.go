@@ -1,0 +1,28 @@
+// Fixture: the statssync shape — a statsResponse wire struct and an
+// aggregateStats that forgets one field.
+package a
+
+type statsResponse struct {
+	Served   int64   `json:"served"`
+	Peak     int64   `json:"peak"`
+	Waste    float64 `json:"waste"`
+	Dropped  int64   `json:"dropped"` // want `field Dropped \(json "dropped"\) is not summed, maxed, or recomputed`
+	Skipped  int64   `json:"skipped"` //turbovet:allow statssync -- instantaneous per-replica gauge, meaningless summed
+	internal int64
+	Ignored  int64 `json:"-"`
+}
+
+func aggregateStats(parts []statsResponse) statsResponse {
+	var agg statsResponse
+	for _, p := range parts {
+		agg.Served += p.Served
+		if p.Peak > agg.Peak {
+			agg.Peak = p.Peak
+		}
+		agg.internal += p.internal
+	}
+	if agg.Served > 0 {
+		agg.Waste = float64(agg.internal) / float64(agg.Served)
+	}
+	return agg
+}

@@ -1,0 +1,9 @@
+// Fixture: a wire struct with no aggregator at all — the whole package is
+// one missing fold away from multi-replica drift.
+package noagg
+
+type statsResponse struct { // want `no aggregateStats`
+	Served int64 `json:"served"`
+}
+
+var _ = statsResponse{}

@@ -1,0 +1,32 @@
+// Fixture: loaded as repro/internal/bench — a whole-package wallclock scope.
+package bench
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	work()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)         // want `time\.After reads the wall clock`
+}
+
+// A deliberate live measurement carries the directive and stays silent.
+func liveMeasure() time.Duration {
+	start := time.Now() //turbovet:allow wallclock -- live latency measurement
+	work()
+	//turbovet:allow wallclock -- live latency measurement
+	return time.Since(start)
+}
+
+// Duration arithmetic and constructors never read the clock.
+func modeled() time.Duration {
+	d := 3 * time.Millisecond
+	t := time.Date(2021, time.February, 27, 0, 0, 0, 0, time.UTC)
+	return d + time.Duration(t.Unix())
+}
+
+func work() {}

@@ -1,0 +1,9 @@
+// Fixture: loaded as repro/internal/model — not simulation-bound, the
+// analyzer must stay silent on identical code.
+package outofscope
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,8 @@
+package serving
+
+import "time"
+
+// server.go is live-serving code: wall clock is the point, out of scope.
+func serveLatency() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Fixture: loaded as repro/internal/serving — per-file wallclock scope.
+// sim.go is a simulator file, so the clock read below must be flagged.
+package serving
+
+import "time"
+
+func simulate() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

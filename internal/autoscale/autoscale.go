@@ -87,6 +87,15 @@ type Config struct {
 	// Cooldown ticks after any action during which no action fires
 	// (default 4).
 	Cooldown int
+
+	// TickSource overrides where Run's ticks come from: it returns a
+	// channel delivering one value per sampling period plus a stop
+	// function. Nil means a wall-clock ticker at Tick — the live default.
+	// Tests and deterministic replays inject a virtual source here, so the
+	// control LOOP (not just the decision machine) runs off the wall
+	// clock; turbo-vet's wallclock analyzer keeps the package's one real
+	// ticker confined to the default below.
+	TickSource func(period time.Duration) (<-chan time.Time, func())
 }
 
 // withDefaults fills zero tuning fields.
@@ -251,15 +260,20 @@ type Scaler interface {
 // Run drives the controller against target every cfg.Tick until ctx is
 // cancelled. Action errors (e.g. a replica factory failure) are dropped:
 // the cool-down already spaces retries, and the next overloaded streak
-// tries again.
+// tries again. Ticks come from cfg.TickSource when set (virtual time for
+// tests and replays) and a wall-clock ticker otherwise (the live loop).
 func (c *Controller) Run(ctx context.Context, target Scaler) {
-	t := time.NewTicker(c.cfg.Tick)
-	defer t.Stop()
+	source := c.cfg.TickSource
+	if source == nil {
+		source = wallTicker
+	}
+	ticks, stop := source(c.cfg.Tick)
+	defer stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-ticks:
 			switch c.Tick(target.Signals()) {
 			case ScaleUp:
 				_ = target.ScaleUp()
@@ -268,4 +282,11 @@ func (c *Controller) Run(ctx context.Context, target Scaler) {
 			}
 		}
 	}
+}
+
+// wallTicker is the live default tick source — the one place the
+// simulation-bound autoscale package touches the wall clock.
+func wallTicker(period time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(period) //turbovet:allow wallclock -- the live control loop's default tick source; tests inject TickSource
+	return t.C, t.Stop
 }

@@ -1,6 +1,10 @@
 package autoscale
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 func mustNew(t *testing.T, cfg Config) *Controller {
 	t.Helper()
@@ -160,5 +164,63 @@ func TestWedgedFleetTriggersScaleUp(t *testing.T) {
 	s.DrainMeasured = false
 	if d := c2.Tick(s); d != Hold {
 		t.Fatalf("cold meter treated as wedged: %v", d)
+	}
+}
+
+// injectedScaler records the actions Run executes against it while always
+// reporting an overloaded fleet.
+type injectedScaler struct {
+	replicas int
+	ups      int
+	acted    chan struct{}
+}
+
+func (f *injectedScaler) Signals() Signals { return overload(f.replicas) }
+
+func (f *injectedScaler) ScaleUp() error {
+	f.replicas++
+	f.ups++
+	f.acted <- struct{}{}
+	return nil
+}
+
+func (f *injectedScaler) ScaleDown(context.Context) error { return nil }
+
+// TestRunConsumesInjectedTickSource: with a TickSource supplying virtual
+// ticks, Run is fully deterministic — exactly UpTicks injected ticks produce
+// exactly one ScaleUp, and cancelling the context stops the source.
+func TestRunConsumesInjectedTickSource(t *testing.T) {
+	ticks := make(chan time.Time)
+	var stopped bool
+	c := mustNew(t, Config{
+		Min: 1, Max: 4, UpTicks: 2,
+		TickSource: func(time.Duration) (<-chan time.Time, func()) {
+			return ticks, func() { stopped = true }
+		},
+	})
+	fs := &injectedScaler{replicas: 1, acted: make(chan struct{}, 4)}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, fs)
+	}()
+
+	ticks <- time.Time{}
+	select {
+	case <-fs.acted:
+		t.Fatal("action after a single tick (UpTicks=2)")
+	default:
+	}
+	ticks <- time.Time{}
+	<-fs.acted
+
+	cancel()
+	<-done
+	if fs.ups != 1 {
+		t.Fatalf("ScaleUp executed %d times, want 1", fs.ups)
+	}
+	if !stopped {
+		t.Fatal("Run returned without calling the tick source's stop function")
 	}
 }

@@ -211,19 +211,19 @@ func replayDisaggTrace(handler http.Handler, trace []disaggEvent, maxNew int) di
 	ok := make([]bool, len(trace))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := liveNow()
 	for i, ev := range trace {
-		for time.Since(start) < ev.at {
-			time.Sleep(20 * time.Microsecond)
+		for liveSince(start) < ev.at {
+			liveSleep(20 * time.Microsecond)
 		}
 		wg.Add(1)
 		go func(i int, ev disaggEvent) {
 			defer wg.Done()
 			text := disaggText(i, ev.len)
-			t0 := time.Now()
+			t0 := liveNow()
 			if ev.gen {
 				toks, code := genPost(handler, text, maxNew)
-				genLat[i] = time.Since(t0)
+				genLat[i] = liveSince(t0)
 				ok[i] = code == http.StatusOK
 				if ok[i] {
 					mu.Lock()
@@ -236,7 +236,7 @@ func replayDisaggTrace(handler http.Handler, trace []disaggEvent, maxNew int) di
 			req := httptest.NewRequest(http.MethodPost, "/v1/classify", bytes.NewReader(body))
 			rec := httptest.NewRecorder()
 			handler.ServeHTTP(rec, req)
-			shortLat[i] = time.Since(t0)
+			shortLat[i] = liveSince(t0)
 			ok[i] = rec.Code == http.StatusOK
 		}(i, ev)
 	}
@@ -281,11 +281,11 @@ func runDisaggRoutingWith(w io.Writer, p disaggParams) error {
 			}
 			toks[i] = row
 		}
-		t0 := time.Now()
+		t0 := liveNow()
 		if _, _, err := scratch.Encode(toks); err != nil {
 			panic(err)
 		}
-		return time.Since(t0)
+		return liveSince(t0)
 	}
 	stride := p.genPrompt / 4
 	if stride < 1 {

@@ -58,13 +58,13 @@ func fp16DecodeMeasure(p genDecodeParams, batch int) (fp32Tok, fp16Tok float64, 
 		}
 	}
 	timeReps := func(m *genDecodeMode) (float64, error) {
-		start := time.Now()
+		start := liveNow()
 		for i := 0; i < p.steps; i++ {
 			if err := m.step(); err != nil {
 				return 0, err
 			}
 		}
-		return time.Since(start).Seconds(), nil
+		return liveSince(start).Seconds(), nil
 	}
 	var best32, best16 float64
 	for r := 0; r < p.reps; r++ {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -154,13 +153,13 @@ func genDecodeMeasure(p genDecodeParams, batch int) (ragged, perRow float64, rag
 		}
 	}
 	timeReps := func(m *genDecodeMode) (float64, error) {
-		start := time.Now()
+		start := liveNow()
 		for i := 0; i < p.steps; i++ {
 			if err := m.step(); err != nil {
 				return 0, err
 			}
 		}
-		return time.Since(start).Seconds(), nil
+		return liveSince(start).Seconds(), nil
 	}
 	var bestR, bestP float64
 	for r := 0; r < p.reps; r++ {

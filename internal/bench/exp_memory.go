@@ -5,7 +5,6 @@ import (
 	"io"
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/allocator"
 	"repro/internal/graph"
@@ -204,9 +203,9 @@ func runFig13(w io.Writer) error {
 		seq := 5 + rng.Intn(496)
 		records := bertLayerRecords(seq)
 
-		start := time.Now()
+		start := liveNow()
 		plan := turbo.Plan(records)
-		planTime := time.Since(start)
+		planTime := liveSince(start)
 		_ = plan
 
 		// One plan serves all 12 layers (the repeated-structure trick), so

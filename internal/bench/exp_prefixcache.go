@@ -250,7 +250,7 @@ func runPrefixCacheWith(w io.Writer, p prefixCacheParams) error {
 			return faqRun{}, nil, nil, err
 		}
 		var run faqRun
-		start := time.Now()
+		start := liveNow()
 		for r := range trace {
 			streams, failed := runFAQRound(srv.Handler(), trace[r], p.workers)
 			run.failed += failed
@@ -271,7 +271,7 @@ func runPrefixCacheWith(w io.Writer, p prefixCacheParams) error {
 				}
 			}
 		}
-		run.makespan = time.Since(start)
+		run.makespan = liveSince(start)
 		return run, eng, srv, nil
 	}
 

@@ -126,10 +126,10 @@ func runTrace(handler http.Handler, trace []traceEvent) (lat []time.Duration, ma
 	all := make([]time.Duration, len(trace))
 	ok := make([]bool, len(trace))
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := liveNow()
 	for i, ev := range trace {
-		for time.Since(start) < ev.at {
-			time.Sleep(20 * time.Microsecond)
+		for liveSince(start) < ev.at {
+			liveSleep(20 * time.Microsecond)
 		}
 		wg.Add(1)
 		go func(i, l int) {
@@ -143,14 +143,14 @@ func runTrace(handler http.Handler, trace []traceEvent) (lat []time.Duration, ma
 			body, _ := json.Marshal(map[string]string{"text": string(text)})
 			req := httptest.NewRequest(http.MethodPost, "/v1/classify", bytes.NewReader(body))
 			rec := httptest.NewRecorder()
-			t0 := time.Now()
+			t0 := liveNow()
 			handler.ServeHTTP(rec, req)
-			all[i] = time.Since(t0)
+			all[i] = liveSince(t0)
 			ok[i] = rec.Code == http.StatusOK
 		}(i, ev.len)
 	}
 	wg.Wait()
-	makespan = time.Since(start)
+	makespan = liveSince(start)
 	lat = make([]time.Duration, 0, len(trace))
 	for i, d := range all {
 		if ok[i] {
@@ -252,11 +252,11 @@ func runReplicaRoutingWith(w io.Writer, p replicaRoutingParams) error {
 			}
 			toks[i] = row
 		}
-		t0 := time.Now()
+		t0 := liveNow()
 		if _, _, err := scratch.Encode(toks); err != nil {
 			panic(err)
 		}
-		return time.Since(t0)
+		return liveSince(t0)
 	}
 	stride := p.longLen / 4
 	if stride < 1 {

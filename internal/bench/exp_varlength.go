@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"time"
 
 	"repro/internal/allocator"
 	"repro/internal/cudasim"
@@ -137,11 +136,11 @@ func runVarLengthWith(w io.Writer, p varLengthParams) error {
 		best := func(run func() error) (float64, error) {
 			bestS := 0.0
 			for r := 0; r < p.reps; r++ {
-				start := time.Now()
+				start := liveNow()
 				if err := run(); err != nil {
 					return 0, err
 				}
-				if s := time.Since(start).Seconds(); r == 0 || s < bestS {
+				if s := liveSince(start).Seconds(); r == 0 || s < bestS {
 					bestS = s
 				}
 			}

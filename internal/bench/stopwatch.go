@@ -1,0 +1,27 @@
+package bench
+
+import "time"
+
+// The bench package is simulation-bound: experiments must replay on the
+// virtual clock, and turbo-vet's wallclock analyzer forbids ambient
+// time.Now/Since/Sleep here. A handful of experiments nevertheless measure
+// LIVE systems — a real Router served over httptest, a real GEMM loop —
+// where wall clock is the measurement, not a leak. Those deliberate reads
+// are funneled through this file so every wall-clock escape in the package
+// is annotated in exactly one place, and an experiment that means to be on
+// the simclock can't reach for time.Now out of habit without tripping vet.
+
+// liveNow reads the wall clock for a live-system measurement.
+func liveNow() time.Time {
+	return time.Now() //turbovet:allow wallclock -- live-measurement stopwatch, the one deliberate wall-clock read
+}
+
+// liveSince is time.Since for live-system measurements.
+func liveSince(start time.Time) time.Duration {
+	return liveNow().Sub(start)
+}
+
+// liveSleep paces an open-loop live-traffic generator in real time.
+func liveSleep(d time.Duration) {
+	time.Sleep(d) //turbovet:allow wallclock -- live open-loop pacing, the one deliberate sleep
+}

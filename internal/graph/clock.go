@@ -1,0 +1,18 @@
+package graph
+
+import "time"
+
+// planClock feeds RunStats.PlanTime: it measures the REAL CPU cost of the
+// allocator's planning pass (the Algorithm-1 work the memory experiments
+// compare), not simulated workload time — the one wall-clock read the
+// simulation-bound graph package is allowed. It is a variable so tests and
+// deterministic replays can stub it; everything else in this package must
+// stay on modeled cost, which turbo-vet's wallclock analyzer enforces.
+var planClock = func() time.Time {
+	return time.Now() //turbovet:allow wallclock -- measures the planner's real CPU cost, stubbable via planClock
+}
+
+// planSince is time.Since on the planner's clock.
+func planSince(start time.Time) time.Duration {
+	return planClock().Sub(start)
+}

@@ -79,10 +79,10 @@ func NewExecutor(g *Graph, weights map[int]*tensor.Tensor, alloc allocator.Alloc
 func (e *Executor) Run(input *tensor.Tensor, seqLens []int) (*tensor.Tensor, RunStats, error) {
 	batch, seq := input.Dim(0), input.Dim(1)
 	records := e.G.UsageRecords(batch, seq)
-	planStart := time.Now()
+	planStart := planClock()
 	plan := e.Alloc.Plan(records)
 	stats := RunStats{
-		PlanTime:       time.Since(planStart),
+		PlanTime:       planSince(planStart),
 		FootprintBytes: plan.FootprintBytes(),
 		NumRecords:     len(records),
 	}

@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/allocator"
 	"repro/internal/blas"
@@ -63,10 +62,10 @@ func newPackedDims(p *tensor.Packed) *packedDims {
 // batch's true token totals.
 func (e *Executor) RunPacked(input *tensor.Packed) (*tensor.Packed, RunStats, error) {
 	records := e.G.UsageRecordsPacked(input.Lens())
-	planStart := time.Now()
+	planStart := planClock()
 	plan := e.Alloc.Plan(records)
 	stats := RunStats{
-		PlanTime:       time.Since(planStart),
+		PlanTime:       planSince(planStart),
 		FootprintBytes: plan.FootprintBytes(),
 		NumRecords:     len(records),
 	}

@@ -104,16 +104,16 @@ type jobResult struct {
 }
 
 // newJob builds a job whose lifecycle context is derived from parent
-// (typically the HTTP request context) plus the deadline, if any.
+// (typically the HTTP request context, or the server's root context for
+// internally submitted work — never nil: Server.submit substitutes s.root,
+// so a parentless job is cancelled by shutdown instead of living on an
+// uncancellable Background root).
 func newJob(id int64, kind JobKind, tokens []int, parent context.Context, deadline time.Time) *Job {
 	j := &Job{
 		ID:      id,
 		Kind:    kind,
 		Tokens:  tokens,
 		Arrival: time.Now(),
-	}
-	if parent == nil {
-		parent = context.Background()
 	}
 	j.Deadline = deadline
 	if !deadline.IsZero() {

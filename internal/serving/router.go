@@ -36,7 +36,7 @@ import (
 // disconnects are enforced by its dispatchers, and batched==solo
 // bit-identity holds per replica since replicas share nothing.
 type Router struct {
-	replicas []*replica
+	replicas []*replica // guarded by setMu (copy-on-write: readers hold RLock across pick+charge)
 	policy   BalancePolicy
 	cost     sched.RouteCostModel
 	rr       atomic.Int64 // round-robin cursor
@@ -73,6 +73,7 @@ type Router struct {
 	// retired accumulates the final counter snapshots of removed replicas
 	// so the aggregated stats stay monotone across scale-downs — a served
 	// job never disappears from /v1/stats because its replica retired.
+	// guarded by setMu
 	retired []statsResponse
 
 	// slo, when set, is the shared deadline-miss budget controller: every
@@ -169,6 +170,7 @@ func NewRouter(cfg RouterConfig, servers ...*Server) (*Router, error) {
 		if rt.rolesSet {
 			rep.role = cfg.Roles[i]
 		}
+		//turbovet:allow guardedby -- construction: rt is not yet published, no concurrent reader exists
 		rt.replicas = append(rt.replicas, rep)
 		switch rep.role {
 		case RolePrefill:
@@ -328,7 +330,7 @@ func (rt *Router) route(promptTokens, newTokens int) (*replica, func()) {
 func (rt *Router) routeClassify(price int64) (*replica, func()) {
 	rt.setMu.RLock()
 	defer rt.setMu.RUnlock()
-	return rt.routeAmong(rt.classifyCandidates(), price)
+	return rt.routeAmong(rt.classifyCandidatesLocked(), price)
 }
 
 // anyServer returns one live replica's server — the config oracle for
@@ -386,10 +388,10 @@ func (rt *Router) routeAmong(cands []*replica, price int64) (*replica, func()) {
 	}
 }
 
-// classifyCandidates is where classify (and other prefill-shaped whole
+// classifyCandidatesLocked is where classify (and other prefill-shaped whole
 // requests) may run: everything except decode-only replicas once roles are
 // set, all replicas otherwise.
-func (rt *Router) classifyCandidates() []*replica {
+func (rt *Router) classifyCandidatesLocked() []*replica {
 	if !rt.rolesSet || len(rt.decodes) == len(rt.replicas) {
 		return rt.replicas
 	}

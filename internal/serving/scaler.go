@@ -20,9 +20,9 @@ type RouterScaler struct {
 	factory func() (*Server, error)
 
 	mu      sync.Mutex
-	spare   *Server
-	warming bool
-	closed  bool
+	spare   *Server        // guarded by mu
+	warming bool           // guarded by mu
+	closed  bool           // guarded by mu
 	wg      sync.WaitGroup // in-flight background build
 }
 

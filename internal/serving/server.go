@@ -152,7 +152,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		engine: cfg.Engine,
 		queue:  NewQueue(cfg.QueueDepth),
 	}
-	s.root, s.abortRoot = context.WithCancel(context.Background())
+	s.root, s.abortRoot = context.WithCancel(context.Background()) //turbovet:allow ctxflow -- the server's one process-lifetime root; Close/Shutdown cancel it
 	if cfg.CacheSize > 0 {
 		s.cache = NewResponseCache(cfg.CacheSize)
 	}
@@ -488,6 +488,12 @@ func (d *classifyDispatcher) runBatch(b sched.Batch) {
 // hand-off paths use them to set prefill-only / snapshot state while the
 // job is still exclusively owned by this goroutine.
 func (s *Server) submit(kind JobKind, tokens []int, maxNew, priority int, deadline time.Time, parent context.Context, configure ...func(*Job)) (*Job, error) {
+	if parent == nil {
+		// A job submitted without a request context still hangs off the
+		// server's root, so Close/Shutdown aborts it — it must never be
+		// parented to an uncancellable Background root.
+		parent = s.root
+	}
 	j := newJob(s.nextID.Add(1), kind, tokens, parent, deadline)
 	j.MaxNew = maxNew
 	j.Priority = priority

@@ -444,7 +444,7 @@ func (rt *Runtime) Serve(opts ...Option) (Service, error) {
 		return router, nil
 	}
 	scaler := serving.NewRouterScaler(router, buildReplica)
-	loopCtx, cancel := context.WithCancel(context.Background())
+	loopCtx, cancel := context.WithCancel(context.Background()) //turbovet:allow ctxflow -- the autoscale loop's service-lifetime root; elasticService.stop cancels it
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
